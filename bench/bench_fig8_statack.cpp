@@ -1,0 +1,124 @@
+// Figure 8 / Section 2.3: operation of statistical acknowledgement.
+//
+// Reproduces the figure's timeline -- Acker Selection Packet, designated-
+// acker responses, a data packet that loses its ACKs, and the source's
+// immediate re-multicast -- and quantifies the headline claim: widespread
+// loss is detected and repaired "within one round-trip time", versus the
+// heartbeat-plus-NACK path that needs h_min + RTT.
+#include "bench/bench_util.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace lbrm;
+using namespace lbrm::bench;
+using namespace lbrm::sim;
+
+struct RunResult {
+    double repair_latency_max = 0;  // send -> last receiver has the packet
+    double repair_latency_mean = 0;
+    std::uint64_t remulticasts = 0;
+    std::size_t delivered = 0;
+};
+
+RunResult run(bool stat_ack) {
+    ScenarioConfig config;
+    config.topology.sites = 20;
+    config.topology.receivers_per_site = 3;
+    config.stat_ack.enabled = stat_ack;
+    config.stat_ack.k = 5;
+    config.stat_ack.initial_probe_p = 0.25;
+    config.stat_ack.probe_target_replies = 4;
+    config.stat_ack.probe_repeats = 2;
+    DisScenario scenario(config);
+    auto& network = scenario.network();
+    const auto& topo = scenario.topology();
+    scenario.start();
+    scenario.run_for(secs(5.0));  // probing + first epoch
+    scenario.send_update(std::size_t{128});
+    scenario.run_for(secs(2.0));
+
+    // Drop the next data packet on the source's uplink: all 20 sites miss it.
+    network.set_loss(topo.source_router, topo.backbone,
+                     std::make_unique<BernoulliLoss>(1.0));
+    scenario.send_update(std::size_t{128});
+    const SeqNum seq = scenario.sender().last_seq();
+    const TimePoint sent = *scenario.sent_at(seq);
+    scenario.run_for(millis(30));
+    network.set_loss(topo.source_router, topo.backbone,
+                     std::make_unique<BernoulliLoss>(0.0));
+    scenario.run_for(secs(10.0));
+
+    RunResult result;
+    const auto times = scenario.delivery_times(seq);
+    result.delivered = times.size();
+    double sum = 0;
+    for (const auto& [node, when] : times) {
+        const double latency = to_seconds(when - sent);
+        sum += latency;
+        result.repair_latency_max = std::max(result.repair_latency_max, latency);
+    }
+    result.repair_latency_mean = times.empty() ? -1 : sum / static_cast<double>(times.size());
+    result.remulticasts = scenario.sender().stat_ack().remulticast_decisions();
+    return result;
+}
+
+}  // namespace
+
+int main() {
+    title("Figure 8 / Section 2.3: statistical acknowledgement under");
+    note("whole-group loss (source uplink drops one data packet; 20 sites)");
+    note("");
+
+    const RunResult with = run(/*stat_ack=*/true);
+    const RunResult without = run(/*stat_ack=*/false);
+
+    Table table({"protocol", "remcasts", "mean (ms)", "max (ms)", "delivered"});
+    table.row({"stat-ack", fmt_int(with.remulticasts),
+               fmt(with.repair_latency_mean * 1000, 1),
+               fmt(with.repair_latency_max * 1000, 1), fmt_int(with.delivered)});
+    table.row({"heartbeat", fmt_int(without.remulticasts),
+               fmt(without.repair_latency_mean * 1000, 1),
+               fmt(without.repair_latency_max * 1000, 1), fmt_int(without.delivered)});
+
+    note("");
+    note("Expected shape (paper): with statistical acking the source detects");
+    note("missing ACKs at t_wait (~RTT) and re-multicasts immediately, so the");
+    note("group recovers in ~1 RTT + t_wait.  Without it, recovery waits for");
+    note("the first heartbeat (h_min = 250 ms) plus a NACK round trip.");
+
+    // Timeline trace (Figure 8 shape) on a tiny run.
+    note("");
+    note("--- epoch timeline (4 sites, k=2) ---");
+    {
+        ScenarioConfig config;
+        config.topology.sites = 4;
+        config.topology.receivers_per_site = 2;
+        config.stat_ack.enabled = true;
+        config.stat_ack.k = 2;
+        config.stat_ack.initial_probe_p = 0.5;
+        config.stat_ack.probe_target_replies = 2;
+        config.stat_ack.probe_repeats = 1;
+        DisScenario scenario(config);
+        scenario.start();
+        scenario.run_for(secs(3.0));
+        scenario.send_update(std::size_t{64});
+        scenario.run_for(secs(1.0));
+        for (const auto& n : scenario.notices()) {
+            const char* what = nullptr;
+            switch (n.kind) {
+                case NoticeKind::kEpochStarted: what = "EPOCH_STARTED"; break;
+                case NoticeKind::kDesignatedAcker: what = "DESIGNATED_ACKER"; break;
+                case NoticeKind::kRemulticast: what = "REMULTICAST"; break;
+                default: break;
+            }
+            if (what != nullptr)
+                note("  t=" + fmt(to_seconds(n.at), 3) + "s  node " +
+                     fmt_int(n.node.value()) + "  " + what + " (arg " +
+                     fmt_int(n.arg) + ")");
+        }
+        note("  expected acks per data packet: " +
+             fmt_int(scenario.sender().stat_ack().expected_acks()));
+    }
+    return 0;
+}

@@ -1,0 +1,131 @@
+// Section 2.3.4 / Section 1: feedback implosion at the source as the group
+// grows.
+//
+// Compares, after one whole-group packet loss, the number of feedback
+// packets (ACKs + NACKs) arriving at the source's site across group sizes:
+//   * positive-ACK sender-reliable baseline: one ACK per receiver per packet
+//     (plus retransmissions) -- the implosion Section 1 rejects;
+//   * LBRM with distributed logging + statistical acking: ~k ACKs per
+//     packet and one NACK per site, independent of receivers per site.
+#include "baseline/ack_protocol.hpp"
+#include "bench/bench_util.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace lbrm;
+using namespace lbrm::bench;
+using namespace lbrm::sim;
+
+/// Feedback packets crossing the source site's uplink (toward the source).
+std::uint64_t source_feedback(Network& net, const DisTopology& topo) {
+    const auto& stats = net.link(topo.backbone, topo.source_router)->stats();
+    return stats.packets_of(PacketType::kAck) + stats.packets_of(PacketType::kNack) +
+           stats.packets_of(PacketType::kAckerResponse) +
+           stats.packets_of(PacketType::kProbeReply);
+}
+
+std::uint64_t run_lbrm(std::uint32_t sites) {
+    ScenarioConfig config;
+    config.topology.sites = sites;
+    config.topology.receivers_per_site = 4;
+    config.stat_ack.enabled = true;
+    config.stat_ack.k = 10;
+    config.stat_ack.initial_probe_p = 0.1;
+    DisScenario scenario(config);
+    auto& network = scenario.network();
+    const auto& topo = scenario.topology();
+    scenario.start();
+    scenario.run_for(secs(5.0));
+    network.reset_link_stats();
+
+    // One data packet that every site loses.
+    network.set_loss(topo.source_router, topo.backbone,
+                     std::make_unique<BernoulliLoss>(1.0));
+    scenario.send_update(std::size_t{128});
+    scenario.run_for(millis(30));
+    network.set_loss(topo.source_router, topo.backbone,
+                     std::make_unique<BernoulliLoss>(0.0));
+    scenario.run_for(secs(10.0));
+    return source_feedback(network, topo);
+}
+
+std::uint64_t run_positive_ack(std::uint32_t sites) {
+    Simulator simulator;
+    Network net{simulator, 7};
+    DisTopologySpec spec;
+    spec.sites = sites;
+    spec.receivers_per_site = 4;
+    spec.secondary_logger_per_site = false;
+    spec.replicas = 0;
+    const DisTopology topo = make_dis_topology(net, spec);
+    net.finalize();
+
+    const GroupId group{1};
+    baseline::AckProtocolConfig base;
+    base.group = group;
+    base.source = topo.source;
+
+    baseline::AckProtocolConfig sender_config = base;
+    sender_config.self = topo.source;
+    sender_config.receivers = topo.all_receivers();
+    auto& source_host = net.attach_host(topo.source);
+    auto& sender = dynamic_cast<baseline::AckSenderCore&>(source_host.protocol().add_core(
+        std::make_unique<baseline::AckSenderCore>(sender_config)));
+    net.join(group, topo.source);
+
+    for (NodeId r : topo.all_receivers()) {
+        baseline::AckProtocolConfig receiver_config = base;
+        receiver_config.self = r;
+        net.attach_host(r).protocol().add_core(
+            std::make_unique<baseline::AckReceiverCore>(receiver_config));
+        net.join(group, r);
+        net.host(r)->protocol().start(simulator.now());
+    }
+    source_host.protocol().start(simulator.now());
+
+    auto send = [&](std::vector<std::uint8_t> payload) {
+        Actions actions = sender.send(simulator.now(), std::move(payload));
+        source_host.protocol().inject(simulator.now(), sender, std::move(actions));
+    };
+
+    send(std::vector<std::uint8_t>(128, 1));
+    simulator.run_for(secs(2.0));
+    net.reset_link_stats();
+
+    net.set_loss(topo.source_router, topo.backbone, std::make_unique<BernoulliLoss>(1.0));
+    send(std::vector<std::uint8_t>(128, 2));
+    simulator.run_for(millis(30));
+    net.set_loss(topo.source_router, topo.backbone, std::make_unique<BernoulliLoss>(0.0));
+    simulator.run_for(secs(10.0));
+    return source_feedback(net, topo);
+}
+
+}  // namespace
+
+int main() {
+    title("Section 2.3.4: feedback implosion at the source vs group size");
+    note("One whole-group loss; feedback = ACK/NACK packets reaching the");
+    note("source's site afterwards.  4 receivers per site.");
+    note("");
+
+    Table table({"sites", "recv", "pos-ACK fb", "LBRM fb"});
+    std::vector<std::string> csv;
+    for (std::uint32_t sites : {10u, 25u, 50u, 100u, 200u}) {
+        const std::uint64_t ack = run_positive_ack(sites);
+        const std::uint64_t lbrm = run_lbrm(sites);
+        table.row({fmt_int(sites), fmt_int(sites * 4), fmt_int(ack), fmt_int(lbrm)});
+        csv.push_back(fmt_int(sites) + "," + fmt_int(ack) + "," + fmt_int(lbrm));
+    }
+
+    note("");
+    note("CSV: sites,positive_ack_feedback,lbrm_feedback");
+    for (const auto& line : csv) note(line);
+
+    note("");
+    note("Expected shape (paper): positive acknowledgement grows with the");
+    note("receiver count (implosion); LBRM feedback stays ~k ACKs + <=1 NACK");
+    note("per site, 'preventing every logging server from simultaneously");
+    note("requesting retransmissions from the sender'.");
+    return 0;
+}

@@ -1,0 +1,50 @@
+// Section 2.1.2's battlefield packet-budget table: the whole-simulation
+// traffic for the STOW-97-scale scenario (100,000 dynamic + 100,000
+// terrain entities) under fixed vs variable heartbeats, plus a sensitivity
+// sweep over the terrain update interval.
+#include "bench/bench_util.hpp"
+#include "dis/bandwidth_model.hpp"
+
+int main() {
+    using namespace lbrm;
+    using namespace lbrm::bench;
+    using namespace lbrm::dis;
+
+    title("Section 2.1.2: DIS battlefield packet budget");
+    note("100,000 dynamic entities @ 1 PDU/s; 100,000 terrain entities");
+    note("changing every 120 s; h_min 0.25 s, h_max 32 s, backoff 2");
+    note("");
+
+    BattlefieldSpec spec;  // paper defaults
+    const BandwidthBreakdown fixed = fixed_heartbeat_budget(spec);
+    const BandwidthBreakdown variable = variable_heartbeat_budget(spec);
+
+    Table table({"scheme", "dynamic", "terrain", "heartbeat", "total", "hb frac"});
+    table.row({"fixed", fmt(fixed.dynamic_pps, 0), fmt(fixed.terrain_data_pps, 0),
+               fmt(fixed.terrain_heartbeat_pps, 0), fmt(fixed.total(), 0),
+               fmt(fixed.heartbeat_fraction(), 3)});
+    table.row({"variable", fmt(variable.dynamic_pps, 0),
+               fmt(variable.terrain_data_pps, 0),
+               fmt(variable.terrain_heartbeat_pps, 0), fmt(variable.total(), 0),
+               fmt(variable.heartbeat_fraction(), 3)});
+
+    note("");
+    note("Paper: fixed heartbeats contribute 400,000 of 500,000 pkt/s (4/5);");
+    note("the variable scheme cuts terrain keep-alive traffic ~53x.");
+
+    note("");
+    note("--- sensitivity: terrain update interval ---");
+    Table sweep({"dt (s)", "fixed total", "variable total", "savings"}, 16);
+    for (double dt : {30.0, 60.0, 120.0, 300.0, 600.0}) {
+        BattlefieldSpec s = spec;
+        s.terrain_update_interval_s = dt;
+        const double f = fixed_heartbeat_budget(s).total();
+        const double v = variable_heartbeat_budget(s).total();
+        sweep.row({fmt(dt, 0), fmt(f, 0), fmt(v, 0), fmt(f / v, 2)});
+    }
+    note("");
+    note("Expected shape: the quieter the terrain, the more the fixed scheme");
+    note("wastes (asymptote 500k pkt/s) while the variable scheme's budget");
+    note("approaches the dynamic traffic floor (100k pkt/s).");
+    return 0;
+}

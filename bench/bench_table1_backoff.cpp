@@ -1,0 +1,45 @@
+// Table 1: ratio of fixed-heartbeat overhead to variable-heartbeat overhead
+// as the backoff parameter changes (dt = 120 s, h_min = 0.25 s, h_max = 32 s).
+//
+// Two columns are reported:
+//   * "exact": discrete heartbeat counts from the real scheduler semantics,
+//     where the interval saturates at h_max (ratios plateau at ~68 once the
+//     cap dominates);
+//   * "continuous": the uncapped-geometric approximation, which is what the
+//     published Table 1 column follows (within a few percent).
+#include "analysis/heartbeat_math.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+    using namespace lbrm;
+    using namespace lbrm::bench;
+
+    title("Table 1: Overhead(Fixed)/Overhead(Variable) vs backoff (dt = 120 s)");
+
+    const double backoffs[] = {1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
+    const double paper[] = {34.4, 53.3, 65.8, 74.8, 81.7, 87.3};
+
+    Table table({"backoff", "exact", "continuous", "paper"});
+    std::vector<std::string> csv;
+    for (int i = 0; i < 6; ++i) {
+        HeartbeatConfig config;
+        config.backoff = backoffs[i];
+        const double exact = analysis::overhead_ratio(config, 120.0);
+        const double continuous = analysis::overhead_ratio_continuous(config, 120.0);
+        table.row({fmt(backoffs[i], 1), fmt(exact, 1), fmt(continuous, 1),
+                   fmt(paper[i], 1)});
+        csv.push_back(fmt(backoffs[i], 1) + "," + fmt(exact, 2) + "," +
+                      fmt(continuous, 2) + "," + fmt(paper[i], 1));
+    }
+
+    note("");
+    note("CSV: backoff,ratio_exact,ratio_continuous,ratio_paper");
+    for (const auto& line : csv) note(line);
+
+    note("");
+    note("Expected shape (paper): monotone increase with diminishing returns;");
+    note("'the reduction in overhead is moderately sensitive to the backoff'.");
+    note("The exact column plateaus at high backoff because h_max caps the");
+    note("interval -- a real effect the paper's continuous figures gloss over.");
+    return 0;
+}

@@ -1,0 +1,52 @@
+// Small formatting helpers shared by the reproduction benches.  Each bench
+// binary prints the paper artifact it regenerates (figure series or table
+// rows) in a fixed-width layout plus a machine-readable CSV block.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lbrm::bench {
+
+inline void title(const std::string& text) {
+    std::printf("\n=== %s ===\n\n", text.c_str());
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+/// Fixed-width table writer: columns sized by the header labels.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers, int width = 14)
+        : headers_(std::move(headers)), width_(width) {
+        for (const auto& h : headers_) std::printf("%*s", width_, h.c_str());
+        std::printf("\n");
+        for (std::size_t i = 0; i < headers_.size(); ++i)
+            std::printf("%*s", width_, std::string(static_cast<std::size_t>(width_) - 2, '-').c_str());
+        std::printf("\n");
+    }
+
+    void row(const std::vector<std::string>& cells) {
+        for (const auto& c : cells) std::printf("%*s", width_, c.c_str());
+        std::printf("\n");
+    }
+
+private:
+    std::vector<std::string> headers_;
+    int width_;
+};
+
+inline std::string fmt(double v, int precision = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+inline std::string fmt_int(std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+}  // namespace lbrm::bench

@@ -1,0 +1,83 @@
+// Quickstart: the smallest complete LBRM deployment.
+//
+// One source, a primary logging server, one site with a secondary logger
+// and three receivers -- all on the deterministic network simulator.  We
+// multicast a few updates, deliberately lose one on the site's tail
+// circuit, and watch the protocol detect the gap via the variable heartbeat
+// and repair it through the logging hierarchy.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <string>
+
+#include "sim/scenario.hpp"
+
+int main() {
+    using namespace lbrm;
+    using namespace lbrm::sim;
+
+    // 1. Describe the deployment: one receiver site, secondary logger on.
+    ScenarioConfig config;
+    config.topology.sites = 1;
+    config.topology.receivers_per_site = 3;
+    config.stat_ack.enabled = false;  // keep the first example simple
+    config.heartbeat.h_min = secs(0.25);
+    config.heartbeat.h_max = secs(32.0);
+
+    DisScenario scenario(config);
+    scenario.start();
+
+    std::printf("LBRM quickstart: 1 source, 1 primary logger, 1 site with a\n");
+    std::printf("secondary logger and 3 receivers.\n\n");
+
+    // 2. Send an update; everyone receives it live.
+    const std::string hello = "terrain update: bridge intact";
+    scenario.send_update({hello.begin(), hello.end()});
+    scenario.run_for(secs(1.0));
+    std::printf("update #1 delivered to %zu receivers (live multicast)\n",
+                scenario.delivery_times(SeqNum{1}).size());
+
+    // 3. Lose the next update on the site's tail circuit.
+    auto& network = scenario.network();
+    const auto& topo = scenario.topology();
+    network.set_loss(topo.backbone, topo.sites[0].router,
+                     std::make_unique<BernoulliLoss>(1.0));
+    const std::string boom = "terrain update: bridge DESTROYED";
+    scenario.send_update({boom.begin(), boom.end()});
+    scenario.run_for(millis(50));
+    network.set_loss(topo.backbone, topo.sites[0].router,
+                     std::make_unique<BernoulliLoss>(0.0));
+    std::printf("update #2 multicast... and dropped on the tail circuit\n");
+
+    // 4. The variable heartbeat (first one h_min = 250 ms after the data)
+    //    reveals the gap; the secondary logger fetches the packet from the
+    //    primary log and repairs the whole site.
+    scenario.run_for(secs(3.0));
+
+    const auto times = scenario.delivery_times(SeqNum{2});
+    std::printf("update #2 recovered by %zu receivers:\n", times.size());
+    for (const auto& [node, when] : times) {
+        std::printf("  receiver %u at t=%.3f s (%.0f ms after send)\n", node.value(),
+                    to_seconds(when),
+                    to_seconds(when - *scenario.sent_at(SeqNum{2})) * 1000.0);
+    }
+
+    std::printf("\nprotocol events observed:\n");
+    std::printf("  loss detections : %zu\n",
+                scenario.notice_count(NoticeKind::kLossDetected));
+    std::printf("  NACKs sent      : %llu (one per receiver, all site-local)\n",
+                static_cast<unsigned long long>([&] {
+                    std::uint64_t total = 0;
+                    for (NodeId r : topo.sites[0].receivers)
+                        total += scenario.receiver(r).nacks_sent();
+                    return total;
+                }()));
+    std::printf("  secondary logger: %llu served, %llu fetched upstream\n",
+                static_cast<unsigned long long>(
+                    scenario.secondary_logger(0).nacks_served_unicast() +
+                    scenario.secondary_logger(0).nacks_served_multicast()),
+                static_cast<unsigned long long>(
+                    scenario.secondary_logger(0).upstream_fetches()));
+    std::printf("\ndone: receiver-reliable delivery with log-based recovery.\n");
+    return 0;
+}

@@ -1,0 +1,24 @@
+#include "analysis/estimator_math.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lbrm::analysis {
+
+double single_probe_stddev(double n, double p_ack) {
+    if (n < 0.0 || p_ack <= 0.0 || p_ack > 1.0)
+        throw std::invalid_argument("single_probe_stddev: need n >= 0, p in (0, 1]");
+    return std::sqrt(n * (1.0 - p_ack) / p_ack);
+}
+
+double repeated_probe_stddev(double n, double p_ack, std::size_t probes) {
+    if (probes == 0) throw std::invalid_argument("repeated_probe_stddev: probes >= 1");
+    return single_probe_stddev(n, p_ack) / std::sqrt(static_cast<double>(probes));
+}
+
+double stddev_reduction_factor(std::size_t probes) {
+    if (probes == 0) throw std::invalid_argument("stddev_reduction_factor: probes >= 1");
+    return 1.0 / std::sqrt(static_cast<double>(probes));
+}
+
+}  // namespace lbrm::analysis

@@ -1,0 +1,25 @@
+// Closed-form accuracy of the group-size estimator (Section 2.3.3, Table 2).
+//
+// One probe at acknowledgement probability p of N loggers yields k ~
+// Binomial(N, p) replies and the estimate k/p, whose standard deviation is
+//     sigma_1 = sqrt(N (1 - p) / p).
+// Averaging n independent probes divides sigma by sqrt(n) -- the Table 2
+// column.  Monte-Carlo validation lives in tests/analysis_test.cpp and the
+// Table 2 bench.
+#pragma once
+
+#include <cstddef>
+
+namespace lbrm::analysis {
+
+/// Standard deviation of a single-probe estimate of N loggers at
+/// acknowledgement probability p (Table 2 row 1).
+[[nodiscard]] double single_probe_stddev(double n, double p_ack);
+
+/// Standard deviation after averaging `probes` repeated probes.
+[[nodiscard]] double repeated_probe_stddev(double n, double p_ack, std::size_t probes);
+
+/// Table 2's normalized column: sigma_n / sigma_1 = 1/sqrt(n).
+[[nodiscard]] double stddev_reduction_factor(std::size_t probes);
+
+}  // namespace lbrm::analysis

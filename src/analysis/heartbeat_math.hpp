@@ -1,0 +1,57 @@
+// Closed-form heartbeat-overhead model (Section 2.1.2, Figures 4 and 5,
+// Table 1).
+//
+// Given a data-packet interval dt, the variable-heartbeat sender emits
+// heartbeats at cumulative offsets h_min, h_min(1+b), h_min(1+b+b^2), ...
+// (intervals multiplying by the backoff b, saturating at h_max), and every
+// heartbeat scheduled at or after the next data packet is preempted.  The
+// fixed baseline emits one heartbeat every h_min.
+//
+// These functions are validated against step-by-step simulation of the
+// actual HeartbeatScheduler in tests/analysis_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace lbrm::analysis {
+
+/// Offsets (seconds after the data packet) of every heartbeat transmitted
+/// before the next data packet arrives `dt` seconds later.
+[[nodiscard]] std::vector<double> variable_heartbeat_offsets(const HeartbeatConfig& config,
+                                                             double dt);
+
+/// Number of variable-scheme heartbeats in a data interval of dt seconds.
+[[nodiscard]] std::size_t variable_heartbeat_count(const HeartbeatConfig& config, double dt);
+
+/// Number of fixed-scheme heartbeats (one every `h` seconds) in dt seconds;
+/// a heartbeat coinciding with the next data packet is preempted.
+[[nodiscard]] std::size_t fixed_heartbeat_count(double h, double dt);
+
+/// Steady-state heartbeat packets per second when data arrives every dt
+/// seconds (count / dt).
+[[nodiscard]] double variable_heartbeat_rate(const HeartbeatConfig& config, double dt);
+[[nodiscard]] double fixed_heartbeat_rate(double h, double dt);
+
+/// Overhead(fixed) / Overhead(variable) -- the Figure 5 / Table 1 ratio,
+/// computed from exact discrete heartbeat counts (implementation-faithful:
+/// the backoff saturates at h_max, so ratios plateau for large backoffs).
+/// Returns +inf when the variable scheme sends zero heartbeats but the
+/// fixed scheme sends some, and 1.0 when both send none.
+[[nodiscard]] double overhead_ratio(const HeartbeatConfig& config, double dt);
+
+/// The continuous-growth approximation the paper's Table 1 follows: the
+/// number of heartbeats in dt is modeled as n = log_b(1 + dt (b-1) / h_min)
+/// (geometric growth, no h_max cap), giving ratio (dt/h_min) / n.  This
+/// matches the published column within a few percent; see EXPERIMENTS.md
+/// for the comparison against the exact discrete model.
+[[nodiscard]] double overhead_ratio_continuous(const HeartbeatConfig& config, double dt);
+
+/// Aggregate heartbeat packet rate for the Section 2.1.2 DIS scenario:
+/// `entities` terrain entities each updating every `dt` seconds.
+[[nodiscard]] double scenario_heartbeat_rate(const HeartbeatConfig& config, double dt,
+                                             std::size_t entities);
+
+}  // namespace lbrm::analysis

@@ -1,0 +1,106 @@
+#include "apps/html_invalidation.hpp"
+
+#include <charconv>
+
+namespace lbrm::apps {
+
+namespace {
+
+/// Parse a decimal u32 from [begin, end); false on any non-digit/overflow.
+bool parse_u32(std::string_view text, std::uint32_t& out) {
+    if (text.empty()) return false;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), out);
+    return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+std::string render_update(SeqNum seq, std::string_view url, bool retransmission) {
+    std::string out = retransmission ? "RETRANS:" : "TRANS:";
+    out += std::to_string(seq.value());
+    out += ".0:UPDATE:";
+    out += url;
+    return out;
+}
+
+std::string render_heartbeat(SeqNum seq, std::uint32_t index) {
+    std::string out = "TRANS:";
+    out += std::to_string(seq.value());
+    out += '.';
+    out += std::to_string(index);
+    out += ":HEARTBEAT";
+    return out;
+}
+
+std::optional<InvalidationMessage> parse_message(std::string_view text) {
+    InvalidationMessage message;
+
+    if (text.starts_with("TRANS:")) {
+        text.remove_prefix(6);
+    } else if (text.starts_with("RETRANS:")) {
+        message.retransmission = true;
+        text.remove_prefix(8);
+    } else {
+        return std::nullopt;
+    }
+
+    // <seq>.<k>:
+    const auto dot = text.find('.');
+    if (dot == std::string_view::npos) return std::nullopt;
+    std::uint32_t seq = 0;
+    if (!parse_u32(text.substr(0, dot), seq)) return std::nullopt;
+    message.seq = SeqNum{seq};
+    text.remove_prefix(dot + 1);
+
+    const auto colon = text.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    if (!parse_u32(text.substr(0, colon), message.heartbeat_index)) return std::nullopt;
+    text.remove_prefix(colon + 1);
+
+    if (text == "HEARTBEAT") {
+        message.kind = InvalidationMessage::Kind::kHeartbeat;
+        return message;
+    }
+    if (text.starts_with("UPDATE:")) {
+        message.kind = InvalidationMessage::Kind::kUpdate;
+        message.url = std::string(text.substr(7));
+        if (message.url.empty()) return std::nullopt;
+        return message;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string> parse_page_binding(std::string_view html_first_line) {
+    constexpr std::string_view kPrefix = "<!MULTICAST.";
+    const auto start = html_first_line.find(kPrefix);
+    if (start == std::string_view::npos) return std::nullopt;
+    std::string_view rest = html_first_line.substr(start + kPrefix.size());
+    const auto end = rest.find(".>");
+    if (end == std::string_view::npos || end == 0) return std::nullopt;
+    const std::string_view address = rest.substr(0, end);
+    // Validate dotted-quad shape: four dot-separated u32 components.
+    std::uint32_t component = 0;
+    int components = 0;
+    std::string_view remaining = address;
+    while (true) {
+        const auto dot = remaining.find('.');
+        const std::string_view part =
+            dot == std::string_view::npos ? remaining : remaining.substr(0, dot);
+        if (!parse_u32(part, component) || component > 255) return std::nullopt;
+        ++components;
+        if (dot == std::string_view::npos) break;
+        remaining.remove_prefix(dot + 1);
+    }
+    if (components != 4) return std::nullopt;
+    return std::string(address);
+}
+
+std::string render_page_binding(std::string_view mcast_address) {
+    std::string out = "<!MULTICAST.";
+    out += mcast_address;
+    out += ".>";
+    return out;
+}
+
+}  // namespace lbrm::apps

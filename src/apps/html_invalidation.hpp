@@ -1,0 +1,96 @@
+// The Appendix-A HTML document-invalidation protocol, as a reusable layer
+// over LBRM payloads.
+//
+// Wire grammar (verbatim from the paper):
+//
+//   page binding   first line of the HTML file:
+//                    <!MULTICAST.234.12.29.72.>
+//   invalidation   TRANS:<seq>.0:UPDATE:<url>
+//   heartbeat      TRANS:<seq>.<k>:HEARTBEAT
+//   retransmission RETRANS:<seq>.0:UPDATE:<url>
+//
+// The LBRM packet layer already carries sequence numbers and heartbeat
+// indices; this module renders/parses the Appendix-A text so an HTTP server
+// and browser cache can interoperate at the documented format, and models
+// the client cache (RELOAD-button highlighting) described in Section 4.3.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/seqnum.hpp"
+
+namespace lbrm::apps {
+
+/// One parsed Appendix-A message.
+struct InvalidationMessage {
+    enum class Kind : std::uint8_t { kUpdate, kHeartbeat };
+
+    Kind kind = Kind::kUpdate;
+    bool retransmission = false;  ///< RETRANS instead of TRANS
+    SeqNum seq;
+    std::uint32_t heartbeat_index = 0;  ///< the ".k" field
+    std::string url;                    ///< empty for heartbeats
+};
+
+/// Render messages in the exact published format.
+[[nodiscard]] std::string render_update(SeqNum seq, std::string_view url,
+                                        bool retransmission = false);
+[[nodiscard]] std::string render_heartbeat(SeqNum seq, std::uint32_t index);
+
+/// Parse any Appendix-A line; std::nullopt on malformed input.
+[[nodiscard]] std::optional<InvalidationMessage> parse_message(std::string_view text);
+
+/// Extract the multicast address from an HTML document's first-line
+/// binding comment "<!MULTICAST.a.b.c.d.>"; std::nullopt when absent.
+/// Returns the dotted-quad address text ("234.12.29.72").
+[[nodiscard]] std::optional<std::string> parse_page_binding(std::string_view html_first_line);
+
+/// Render the binding comment for a server-side page.
+[[nodiscard]] std::string render_page_binding(std::string_view mcast_address);
+
+/// The Mosaic-style client cache of Section 4.3: displayed pages subscribe;
+/// an invalidation sets the page's RELOAD flag until the page is reloaded.
+class BrowserCache {
+public:
+    /// The browser displays `url`: cached and subscribed.
+    void display(const std::string& url) { pages_.emplace(url, false); }
+
+    /// The user hit RELOAD: fresh copy fetched, flag cleared.
+    void reload(const std::string& url) {
+        auto it = pages_.find(url);
+        if (it != pages_.end()) it->second = false;
+    }
+
+    /// The page left the cache (eviction): subscription ends with it.
+    void evict(const std::string& url) { pages_.erase(url); }
+
+    /// Apply a parsed message; returns true when a RELOAD flag was newly
+    /// raised (heartbeats and unknown pages change nothing).
+    bool apply(const InvalidationMessage& message) {
+        if (message.kind != InvalidationMessage::Kind::kUpdate) return false;
+        auto it = pages_.find(message.url);
+        if (it == pages_.end() || it->second) return false;
+        it->second = true;
+        return true;
+    }
+
+    [[nodiscard]] bool is_cached(const std::string& url) const {
+        return pages_.contains(url);
+    }
+    [[nodiscard]] bool reload_highlighted(const std::string& url) const {
+        auto it = pages_.find(url);
+        return it != pages_.end() && it->second;
+    }
+    [[nodiscard]] std::size_t size() const { return pages_.size(); }
+
+private:
+    std::map<std::string, bool> pages_;  // url -> RELOAD highlighted
+};
+
+}  // namespace lbrm::apps

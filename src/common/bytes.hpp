@@ -1,0 +1,163 @@
+// Big-endian (network byte order) serialization primitives.
+//
+// All LBRM wire structures are encoded through ByteWriter/ByteReader so the
+// on-the-wire format is identical regardless of host endianness, and so
+// decode failures (truncation, garbage) surface as recoverable errors rather
+// than undefined behaviour.  ByteReader never throws on malformed input: it
+// returns std::nullopt and latches a failure flag, which lets packet decoding
+// be driven by untrusted network data.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lbrm {
+
+/// Appends integers/strings/blobs in network byte order to a growable buffer.
+class ByteWriter {
+public:
+    ByteWriter() = default;
+    explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+
+    void u16(std::uint16_t v) {
+        buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+        buf_.push_back(static_cast<std::uint8_t>(v));
+    }
+
+    void u32(std::uint32_t v) {
+        for (int shift = 24; shift >= 0; shift -= 8)
+            buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+
+    void u64(std::uint64_t v) {
+        for (int shift = 56; shift >= 0; shift -= 8)
+            buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    /// IEEE-754 double, transported as its bit pattern.
+    void f64(double v) {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    /// Raw bytes, no length prefix.
+    void bytes(std::span<const std::uint8_t> data) {
+        buf_.insert(buf_.end(), data.begin(), data.end());
+    }
+
+    /// Length-prefixed (u16) byte string; `data.size()` must fit in 16 bits.
+    void blob16(std::span<const std::uint8_t> data);
+
+    /// Length-prefixed (u16) UTF-8 string.
+    void str16(std::string_view s) {
+        blob16({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+    }
+
+    [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+    [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+    [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/// Consumes network-byte-order fields from a fixed buffer.
+///
+/// Every accessor returns std::nullopt once the buffer is exhausted or a
+/// prior read failed; `ok()` reports whether the whole parse succeeded.
+class ByteReader {
+public:
+    explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    std::optional<std::uint8_t> u8() {
+        if (!ensure(1)) return std::nullopt;
+        return data_[pos_++];
+    }
+
+    std::optional<std::uint16_t> u16() {
+        if (!ensure(2)) return std::nullopt;
+        std::uint16_t v = static_cast<std::uint16_t>(
+            (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+        pos_ += 2;
+        return v;
+    }
+
+    std::optional<std::uint32_t> u32() {
+        if (!ensure(4)) return std::nullopt;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+        pos_ += 4;
+        return v;
+    }
+
+    std::optional<std::uint64_t> u64() {
+        if (!ensure(8)) return std::nullopt;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+        pos_ += 8;
+        return v;
+    }
+
+    std::optional<std::int64_t> i64() {
+        auto v = u64();
+        if (!v) return std::nullopt;
+        return static_cast<std::int64_t>(*v);
+    }
+
+    std::optional<double> f64() {
+        auto bits = u64();
+        if (!bits) return std::nullopt;
+        double v = 0;
+        std::memcpy(&v, &*bits, sizeof(v));
+        return v;
+    }
+
+    /// Exactly n raw bytes.
+    std::optional<std::span<const std::uint8_t>> bytes(std::size_t n) {
+        if (!ensure(n)) return std::nullopt;
+        auto out = data_.subspan(pos_, n);
+        pos_ += n;
+        return out;
+    }
+
+    /// u16-length-prefixed byte string (see ByteWriter::blob16).
+    std::optional<std::vector<std::uint8_t>> blob16();
+
+    /// u16-length-prefixed UTF-8 string.
+    std::optional<std::string> str16();
+
+    /// All bytes not yet consumed.
+    [[nodiscard]] std::span<const std::uint8_t> remaining() const {
+        return data_.subspan(pos_);
+    }
+
+    [[nodiscard]] std::size_t consumed() const { return pos_; }
+    [[nodiscard]] bool ok() const { return !failed_; }
+    [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+
+private:
+    bool ensure(std::size_t n) {
+        if (failed_ || data_.size() - pos_ < n) {
+            failed_ = true;
+            return false;
+        }
+        return true;
+    }
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+}  // namespace lbrm

@@ -1,0 +1,58 @@
+// Exponentially-weighted moving average estimators.
+//
+// The paper uses the Jacobson-style update twice:
+//   t'_wait = alpha * rtt_new + (1 - alpha) * t_wait          (Section 2.3.2)
+//   N'_sl   = (1 - alpha) * N_sl + alpha * k' / p_ack         (Section 2.3.3)
+// Both are instances of this estimator.
+#pragma once
+
+#include <stdexcept>
+
+namespace lbrm {
+
+/// Scalar EWMA:  v' = alpha * sample + (1 - alpha) * v.
+///
+/// Until the first sample arrives the estimator reports its seed value (or
+/// adopts the first sample outright when constructed without a seed).
+class Ewma {
+public:
+    /// `alpha` is the weight of each new sample, in (0, 1].
+    explicit Ewma(double alpha) : Ewma(alpha, 0.0) { seeded_ = false; }
+
+    Ewma(double alpha, double seed) : alpha_(alpha), value_(seed), seeded_(true) {
+        if (alpha <= 0.0 || alpha > 1.0)
+            throw std::invalid_argument("Ewma: alpha must be in (0, 1]");
+    }
+
+    /// Fold one observation into the average and return the new estimate.
+    double update(double sample) {
+        if (!seeded_) {
+            value_ = sample;
+            seeded_ = true;
+        } else {
+            value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+        }
+        ++samples_;
+        return value_;
+    }
+
+    [[nodiscard]] double value() const { return value_; }
+    [[nodiscard]] double alpha() const { return alpha_; }
+    [[nodiscard]] long samples() const { return samples_; }
+    [[nodiscard]] bool seeded() const { return seeded_; }
+
+    /// Replace the current estimate (e.g. carry t_wait across epochs).
+    void reset(double value) {
+        value_ = value;
+        seeded_ = true;
+        samples_ = 0;
+    }
+
+private:
+    double alpha_;
+    double value_;
+    bool seeded_;
+    long samples_ = 0;
+};
+
+}  // namespace lbrm

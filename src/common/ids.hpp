@@ -1,0 +1,70 @@
+// Strong identifier types shared by the wire format, the protocol cores and
+// the simulator.  Plain integers invite swapped-argument bugs (node vs group
+// vs site); these wrappers make such mistakes type errors.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace lbrm {
+
+namespace detail {
+
+/// CRTP-free strong integer: Tag distinguishes unrelated id spaces.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+public:
+    using rep = Rep;
+
+    constexpr StrongId() = default;
+    constexpr explicit StrongId(Rep v) : value_(v) {}
+
+    [[nodiscard]] constexpr Rep value() const { return value_; }
+
+    friend constexpr bool operator==(StrongId, StrongId) = default;
+    friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+    friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+        return os << id.value_;
+    }
+
+private:
+    Rep value_ = 0;
+};
+
+}  // namespace detail
+
+/// A protocol participant: a source, receiver or logging server.  In the
+/// simulator this doubles as the node address; in the UDP runtime it is a
+/// stable application-level identity carried in every header.
+using NodeId = detail::StrongId<struct NodeIdTag>;
+
+/// A multicast group (one per source in the paper's fine-grained model).
+using GroupId = detail::StrongId<struct GroupIdTag>;
+
+/// A topologically localized site (LAN / tail-circuit cluster), Section 2.2.
+using SiteId = detail::StrongId<struct SiteIdTag>;
+
+/// Statistical-acknowledgement epoch number (Section 2.3.1).
+using EpochId = detail::StrongId<struct EpochIdTag>;
+
+/// Sentinel for "no node" (e.g. logger address not yet discovered).
+inline constexpr NodeId kNoNode{0xFFFFFFFFu};
+
+/// Sentinel for "no group" (e.g. retransmission channel disabled).
+inline constexpr GroupId kNoGroup{0xFFFFFFFFu};
+
+}  // namespace lbrm
+
+namespace std {
+
+template <typename Tag, typename Rep>
+struct hash<lbrm::detail::StrongId<Tag, Rep>> {
+    size_t operator()(lbrm::detail::StrongId<Tag, Rep> id) const noexcept {
+        return std::hash<Rep>{}(id.value());
+    }
+};
+
+}  // namespace std

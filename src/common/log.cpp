@@ -1,0 +1,52 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace lbrm::logging {
+
+namespace {
+
+std::atomic<Level> g_level{Level::kInfo};
+
+std::mutex g_sink_mutex;
+Sink g_sink;  // guarded by g_sink_mutex; empty means "default stderr sink"
+
+void default_sink(Level level, std::string_view component, std::string_view message) {
+    std::cerr << level_name(level) << ' ' << component << ": " << message << '\n';
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_sink(Sink sink) {
+    std::lock_guard lock(g_sink_mutex);
+    g_sink = std::move(sink);
+}
+
+void emit(Level lvl, std::string_view component, std::string_view message) {
+    if (lvl < level()) return;
+    std::lock_guard lock(g_sink_mutex);
+    if (g_sink)
+        g_sink(lvl, component, message);
+    else
+        default_sink(lvl, component, message);
+}
+
+std::string_view level_name(Level lvl) {
+    switch (lvl) {
+        case Level::kTrace: return "TRACE";
+        case Level::kDebug: return "DEBUG";
+        case Level::kInfo: return "INFO";
+        case Level::kWarn: return "WARN";
+        case Level::kError: return "ERROR";
+        case Level::kOff: return "OFF";
+    }
+    return "?";
+}
+
+}  // namespace lbrm::logging

@@ -1,0 +1,61 @@
+// Minimal leveled logger.
+//
+// The protocol cores never log directly (they are pure state machines);
+// logging happens in the drivers, examples and benches.  A process-wide
+// level gate keeps hot paths cheap: below-threshold messages never format.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace lbrm::logging {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level; messages below it are discarded unformatted.
+void set_level(Level level);
+Level level();
+
+/// Replace the sink (default writes "LEVEL component: message" to stderr).
+/// Passing nullptr restores the default sink.
+using Sink = std::function<void(Level, std::string_view component, std::string_view message)>;
+void set_sink(Sink sink);
+
+void emit(Level level, std::string_view component, std::string_view message);
+
+[[nodiscard]] std::string_view level_name(Level level);
+
+namespace detail {
+
+/// RAII message builder: streams into a buffer, emits on destruction.
+class LineBuilder {
+public:
+    LineBuilder(Level level, std::string_view component)
+        : level_(level), component_(component) {}
+    LineBuilder(const LineBuilder&) = delete;
+    LineBuilder& operator=(const LineBuilder&) = delete;
+    ~LineBuilder() { emit(level_, component_, stream_.str()); }
+
+    template <typename T>
+    LineBuilder& operator<<(const T& value) {
+        stream_ << value;
+        return *this;
+    }
+
+private:
+    Level level_;
+    std::string_view component_;
+    std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace lbrm::logging
+
+/// Usage: LBRM_LOG(Info, "sender") << "epoch " << epoch << " started";
+#define LBRM_LOG(severity, component)                                             \
+    if (::lbrm::logging::Level::k##severity < ::lbrm::logging::level()) {         \
+    } else                                                                        \
+        ::lbrm::logging::detail::LineBuilder(::lbrm::logging::Level::k##severity, \
+                                             (component))

@@ -1,0 +1,61 @@
+// Deterministic random-number source.
+//
+// Everything random in the library (loss models, acker selection, probe
+// responses, randomized NACK delays) draws from an explicitly seeded Rng so
+// simulations and tests are reproducible.  There is deliberately no
+// global/default-seeded instance.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/time.hpp"
+
+namespace lbrm {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /// Uniform double in [0, 1).
+    double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+        return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+    }
+
+    /// True with probability p.
+    bool bernoulli(double p) {
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return uniform() < p;
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    Duration exponential(Duration mean) {
+        double lambda = 1.0 / to_seconds(mean);
+        double x = std::exponential_distribution<double>(lambda)(engine_);
+        return secs(x);
+    }
+
+    /// Uniform duration in [lo, hi).
+    Duration uniform_duration(Duration lo, Duration hi) {
+        return secs(uniform(to_seconds(lo), to_seconds(hi)));
+    }
+
+    /// Derive an independent child stream (for per-node randomness).
+    Rng fork() { return Rng{engine_()}; }
+
+    std::mt19937_64& engine() { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace lbrm

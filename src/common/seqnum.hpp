@@ -1,0 +1,60 @@
+// Serial-number arithmetic for 32-bit packet sequence numbers.
+//
+// LBRM streams are long-lived (a terrain entity may exist for the whole
+// exercise), so sequence numbers must survive wraparound.  We use RFC 1982
+// style serial arithmetic: `a < b` iff the signed distance from a to b is
+// positive.  Distances of exactly half the space are ill-defined in RFC 1982;
+// we resolve them deterministically (half-space counts as "greater") which
+// is safe because LBRM windows are tiny compared to 2^31.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace lbrm {
+
+/// A 32-bit sequence number with wraparound-aware ordering.
+class SeqNum {
+public:
+    constexpr SeqNum() = default;
+    constexpr explicit SeqNum(std::uint32_t v) : value_(v) {}
+
+    /// Raw wire value.
+    [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+    /// Signed distance from `this` to `other` (positive when other is ahead).
+    [[nodiscard]] constexpr std::int32_t distance_to(SeqNum other) const {
+        return static_cast<std::int32_t>(other.value_ - value_);
+    }
+
+    constexpr SeqNum& operator++() {
+        ++value_;
+        return *this;
+    }
+    constexpr SeqNum operator++(int) {
+        SeqNum old = *this;
+        ++value_;
+        return old;
+    }
+
+    [[nodiscard]] constexpr SeqNum next() const { return SeqNum{value_ + 1}; }
+    [[nodiscard]] constexpr SeqNum prev() const { return SeqNum{value_ - 1}; }
+
+    /// Advance by n (n may be negative).
+    [[nodiscard]] constexpr SeqNum plus(std::int32_t n) const {
+        return SeqNum{value_ + static_cast<std::uint32_t>(n)};
+    }
+
+    friend constexpr bool operator==(SeqNum a, SeqNum b) { return a.value_ == b.value_; }
+
+    friend constexpr std::strong_ordering operator<=>(SeqNum a, SeqNum b) {
+        if (a.value_ == b.value_) return std::strong_ordering::equal;
+        return a.distance_to(b) > 0 ? std::strong_ordering::less
+                                    : std::strong_ordering::greater;
+    }
+
+private:
+    std::uint32_t value_ = 0;
+};
+
+}  // namespace lbrm

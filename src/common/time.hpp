@@ -1,0 +1,61 @@
+// Time types shared by the protocol cores, the discrete-event simulator and
+// the real-socket runtime.
+//
+// Protocol cores are clock-agnostic: they only ever receive a `TimePoint`
+// from whoever drives them (simulator virtual time or the epoll reactor's
+// monotonic clock) and hand back absolute deadlines.  Using one strong
+// time_point type everywhere keeps simulated and real executions of the same
+// core byte-for-byte identical.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace lbrm {
+
+/// Nanosecond-resolution duration used throughout the library.
+using Duration = std::chrono::nanoseconds;
+
+/// Tag clock for protocol time.  Never queried directly; it exists so that
+/// `TimePoint` is a distinct strong type rather than a bare integer.
+struct ProtocolClock {
+    using rep = std::int64_t;
+    using period = std::nano;
+    using duration = Duration;
+    using time_point = std::chrono::time_point<ProtocolClock>;
+    static constexpr bool is_steady = true;
+};
+
+/// Absolute instant on the driving clock (virtual or monotonic).
+using TimePoint = ProtocolClock::time_point;
+
+/// Convert a floating-point number of seconds to a Duration.
+/// Convenient for paper parameters expressed in seconds (h_min = 0.25 s).
+constexpr Duration secs(double s) {
+    return std::chrono::duration_cast<Duration>(std::chrono::duration<double>(s));
+}
+
+/// Convert an integer number of milliseconds to a Duration.
+constexpr Duration millis(std::int64_t ms) { return std::chrono::milliseconds(ms); }
+
+/// Convert an integer number of microseconds to a Duration.
+constexpr Duration micros(std::int64_t us) { return std::chrono::microseconds(us); }
+
+/// Duration -> floating-point seconds (for reporting and analytic formulas).
+constexpr double to_seconds(Duration d) {
+    return std::chrono::duration<double>(d).count();
+}
+
+/// TimePoint -> floating-point seconds since the clock epoch.
+constexpr double to_seconds(TimePoint t) { return to_seconds(t.time_since_epoch()); }
+
+/// The epoch of the driving clock; simulations start here.
+constexpr TimePoint time_zero() { return TimePoint{Duration{0}}; }
+
+/// Scale a duration by a floating-point factor (e.g. heartbeat backoff).
+constexpr Duration scale(Duration d, double factor) {
+    return std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double, std::nano>(static_cast<double>(d.count()) * factor));
+}
+
+}  // namespace lbrm

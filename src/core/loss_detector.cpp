@@ -1,0 +1,87 @@
+#include "core/loss_detector.hpp"
+
+namespace lbrm {
+
+LossDetector::Observation LossDetector::observe(TimePoint now, SeqNum seq,
+                                                bool is_heartbeat) {
+    Observation obs;
+    last_heard_ = now;
+
+    if (!started_) {
+        // First packet defines the stream position.  A heartbeat repeating
+        // last_seq proves `seq` was transmitted, but we joined late; treat
+        // it as the starting point rather than retroactively missing.
+        started_ = true;
+        highest_ = seq;
+        if (!is_heartbeat) received_[seq] = true;
+        return obs;
+    }
+
+    if (seq > highest_) {
+        // Gap: everything in (highest_, seq) is now known lost or reordered.
+        for (SeqNum s = highest_.next(); s < seq; ++s) {
+            if (!received_.contains(s) && !missing_.contains(s)) {
+                missing_.emplace(s, now);
+                obs.newly_missing.push_back(s);
+            }
+        }
+        highest_ = seq;
+        if (is_heartbeat) {
+            // The heartbeat proves `seq` itself was transmitted as data but
+            // carries no payload; if we never received the data packet it is
+            // missing as well.
+            if (!received_.contains(seq) && !missing_.contains(seq)) {
+                missing_.emplace(seq, now);
+                obs.newly_missing.push_back(seq);
+            }
+        } else {
+            received_[seq] = true;
+        }
+        trim_received();
+        return obs;
+    }
+
+    // seq <= highest_: retransmission, reordered arrival, or duplicate.
+    if (is_heartbeat) return obs;  // heartbeat for an old seq adds nothing new
+
+    if (auto it = missing_.find(seq); it != missing_.end()) {
+        missing_.erase(it);
+        received_[seq] = true;
+        obs.fills_gap = true;
+        return obs;
+    }
+
+    if (received_.contains(seq)) {
+        obs.duplicate = true;
+        return obs;
+    }
+
+    // Old seq outside both sets: beyond the reorder window; count duplicate.
+    obs.duplicate = true;
+    return obs;
+}
+
+std::vector<SeqNum> LossDetector::missing() const {
+    std::vector<SeqNum> out;
+    out.reserve(missing_.size());
+    for (const auto& [seq, when] : missing_) out.push_back(seq);
+    return out;
+}
+
+std::optional<TimePoint> LossDetector::detected_at(SeqNum seq) const {
+    auto it = missing_.find(seq);
+    if (it == missing_.end()) return std::nullopt;
+    return it->second;
+}
+
+void LossDetector::trim_received() {
+    while (!received_.empty()) {
+        auto oldest = received_.begin();
+        if (oldest->first.distance_to(highest_) > kReceivedWindow)
+            received_.erase(oldest);
+        else
+            break;
+    }
+}
+
+}  // namespace lbrm

@@ -1,0 +1,80 @@
+// Receiver-side loss detection (Section 2).
+//
+// A receiver recognizes loss in two ways:
+//   1. a gap in the sequence numbers of received packets (data, heartbeat
+//      repeating last_seq, or retransmission), and
+//   2. silence: no packet of any kind for MaxIT (handled by the receiver's
+//      idle timer; this class only tracks the last-heard time).
+//
+// The detector tolerates reordering: a sequence number is only *reported*
+// missing once something later has been seen, and an out-of-order arrival
+// of a previously-missing number retracts it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/seqnum.hpp"
+#include "common/time.hpp"
+
+namespace lbrm {
+
+class LossDetector {
+public:
+    /// Outcome of observing one sequence number.
+    struct Observation {
+        /// Sequence numbers that just became missing (gap opened).
+        std::vector<SeqNum> newly_missing;
+        /// True when `seq` itself fills a known gap (it was missing).
+        bool fills_gap = false;
+        /// True when `seq` is a duplicate of something already received.
+        bool duplicate = false;
+    };
+
+    /// Record that a packet carrying `seq` was received at `now`.
+    /// For heartbeats pass the repeated last_seq with `is_heartbeat = true`:
+    /// the heartbeat proves `seq` was transmitted but carries no payload, so
+    /// if we have not received that data packet it becomes missing too.
+    Observation observe(TimePoint now, SeqNum seq, bool is_heartbeat = false);
+
+    /// Sequence numbers currently known missing, oldest first.
+    [[nodiscard]] std::vector<SeqNum> missing() const;
+
+    [[nodiscard]] bool is_missing(SeqNum seq) const { return missing_.contains(seq); }
+
+    /// When the gap containing `seq` was first detected (for latency stats).
+    [[nodiscard]] std::optional<TimePoint> detected_at(SeqNum seq) const;
+
+    /// Give up on a sequence number (recovery failed / application declined).
+    void abandon(SeqNum seq) { missing_.erase(seq); }
+
+    /// Highest sequence number proven transmitted, if any packet was seen.
+    [[nodiscard]] std::optional<SeqNum> highest_seen() const {
+        return started_ ? std::optional<SeqNum>(highest_) : std::nullopt;
+    }
+
+    /// Time the last packet (of any kind) was heard.
+    [[nodiscard]] std::optional<TimePoint> last_heard() const {
+        return started_ ? std::optional<TimePoint>(last_heard_) : std::nullopt;
+    }
+
+    [[nodiscard]] std::size_t missing_count() const { return missing_.size(); }
+
+private:
+    bool started_ = false;
+    SeqNum highest_{};  ///< highest seq proven transmitted
+    TimePoint last_heard_{};
+    /// missing seq -> time the gap was detected
+    std::map<SeqNum, TimePoint> missing_;
+    /// received data seqs within the reorder horizon (duplicate detection);
+    /// trimmed to a bounded window behind `highest_`.
+    std::map<SeqNum, bool> received_;
+
+    static constexpr std::int32_t kReceivedWindow = 4096;
+
+    void trim_received();
+};
+
+}  // namespace lbrm

@@ -1,0 +1,143 @@
+// Statistical acknowledgement engine (Section 2.3), run by the data source.
+//
+// Responsibilities:
+//   * Group-size estimation probing at stream start (Section 2.3.3), via
+//     GroupSizeEstimator.
+//   * Epoch management (Section 2.3.1): periodically multicast an Acker
+//     Selection Packet carrying p_ack = k / N_sl; secondary loggers that
+//     volunteer become the epoch's Designated Ackers; after the response
+//     window (2 * t_wait) closes the source knows exactly how many ACKs to
+//     expect per data packet.
+//   * Per-data-packet ACK accounting: at t_wait decide whether missing ACKs
+//     represent enough sites to justify an immediate multicast
+//     retransmission (Section 2.3.2); keep accepting late ACKs until
+//     2 * t_wait for the RTT estimator.
+//   * t_wait adaptation with the Jacobson-style EWMA
+//       t'_wait = alpha * rtt_new + (1 - alpha) * t_wait.
+//   * Continuous N_sl refresh from per-packet ACK counts.
+//   * Faulty-acker hotlist: nodes ACKing packets they were not designated
+//     for are eventually ignored (Section 2.3.3).
+//
+// Sans-IO: every entry point returns Actions plus the sequence numbers the
+// sender must re-multicast (the engine does not hold payloads).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ewma.hpp"
+#include "core/actions.hpp"
+#include "core/config.hpp"
+#include "core/group_estimate.hpp"
+
+namespace lbrm {
+
+class StatAckEngine {
+public:
+    /// `self`/`group` identify the source; `config` is SenderConfig::stat_ack.
+    StatAckEngine(NodeId self, GroupId group, const StatAckConfig& config);
+
+    /// Output of every entry point.
+    struct Result {
+        Actions actions;
+        /// Data packets the sender should immediately re-multicast.
+        std::vector<SeqNum> remulticast;
+        /// ACK accounting outcomes, for flow control (Section 5): packets
+        /// that ended with every designated ACK in hand...
+        std::vector<SeqNum> completed;
+        /// ...and packets that ended with ACKs still missing.
+        std::vector<SeqNum> incomplete;
+    };
+
+    /// Begin operation: starts probing (or the first epoch when the group
+    /// size is already known via set_group_size).
+    Result start(TimePoint now);
+
+    /// The sender just multicast data packet `seq` stamped with
+    /// current_epoch().  Begins ACK accounting for it.
+    Result on_data_sent(TimePoint now, SeqNum seq);
+
+    /// Feed ProbeReply / AckerResponse / Ack packets.  Other types no-op.
+    Result on_packet(TimePoint now, const Packet& packet);
+
+    /// Timer dispatch for kProbeRound / kEpochOpen / kEpochRotate / kAckWait.
+    Result on_timer(TimePoint now, TimerId id);
+
+    /// Epoch to stamp into outgoing data packets.
+    [[nodiscard]] EpochId current_epoch() const { return active_epoch_; }
+
+    /// Lowest sequence number still under ACK accounting; the sender must
+    /// retain payloads from here on so a re-multicast decision can act
+    /// (Section 2.3.2: retain each packet for t_wait after sending).
+    [[nodiscard]] std::optional<SeqNum> lowest_pending() const {
+        if (pending_.empty()) return std::nullopt;
+        return pending_.begin()->first;
+    }
+
+    [[nodiscard]] Duration t_wait() const;
+    [[nodiscard]] double n_sl() const;
+    [[nodiscard]] std::uint32_t expected_acks() const { return active_expected_; }
+    [[nodiscard]] bool probing() const { return estimator_.probing() && !statically_sized_; }
+    [[nodiscard]] std::size_t blacklisted_count() const { return blacklist_.size(); }
+    [[nodiscard]] std::uint64_t remulticast_decisions() const { return remulticast_decisions_; }
+
+    /// Skip probing: the deployment knows its site count (static config).
+    void set_group_size(double n_sl);
+
+private:
+    struct EpochRecord {
+        double p_ack = 0.0;
+        std::set<NodeId> designated;
+        std::uint32_t expected = 0;  ///< designated.size() once window closed
+        bool open = false;           ///< still collecting AckerResponses
+    };
+
+    struct PendingAck {
+        EpochId epoch;
+        TimePoint sent_at{};
+        TimePoint last_ack_at{};
+        std::set<NodeId> got;
+        std::uint32_t expected = 0;
+        std::uint32_t remulticasts = 0;
+        bool decided = false;  ///< t_wait decision point passed
+    };
+
+    Result open_epoch(TimePoint now);
+    Result send_probe(TimePoint now);
+    void close_epoch_window(TimePoint now, Actions& actions);
+    void decide(TimePoint now, SeqNum seq, PendingAck& pending, Result& result);
+    void finalize(TimePoint now, SeqNum seq, PendingAck& pending);
+    void note_spurious_ack(NodeId from);
+
+    [[nodiscard]] Packet make_packet(Body body) const;
+    [[nodiscard]] Duration response_window() const;
+
+    NodeId self_;
+    GroupId group_;
+    StatAckConfig config_;
+    GroupSizeEstimator estimator_;
+    bool statically_sized_ = false;
+    bool started_ = false;
+
+    EpochId active_epoch_{0};
+    EpochId opening_epoch_{0};
+    std::uint32_t active_expected_ = 0;
+    /// Recent epochs (active + the one being opened + one stale for overlap).
+    std::map<EpochId, EpochRecord> epochs_;
+
+    std::map<SeqNum, PendingAck> pending_;
+
+    Ewma t_wait_ewma_;
+
+    std::unordered_map<NodeId, std::uint32_t> spurious_;
+    std::set<NodeId> blacklist_;
+
+    std::uint64_t remulticast_decisions_ = 0;
+    std::uint32_t next_epoch_number_ = 1;
+};
+
+}  // namespace lbrm

@@ -1,0 +1,69 @@
+// The Section 2.1.2 battlefield bandwidth model.
+//
+// "The scenario involves 100,000 dynamic entities (tanks, planes, ships,
+// infantry), and an equal number of aggregate terrain entities...  In
+// current DIS simulations, dynamic entities generate one packet per second,
+// on average... If we estimate that the state changes once every two
+// minutes, then the periodic heartbeats account for effectively all of the
+// terrain updates and for 4/5 of the simulation's 500,000 packets per
+// second."
+//
+// This header computes the whole-simulation packet budget for any entity
+// mix and heartbeat scheme, reproducing those headline numbers and feeding
+// the DIS example and bench.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/heartbeat_math.hpp"
+#include "core/config.hpp"
+
+namespace lbrm::dis {
+
+struct BattlefieldSpec {
+    std::size_t dynamic_entities = 100'000;
+    /// Dead-reckoned appearance PDUs per dynamic entity per second.
+    double dynamic_pdu_rate = 1.0;
+    std::size_t terrain_entities = 100'000;
+    /// Seconds between genuine terrain state changes.
+    double terrain_update_interval_s = 120.0;
+    HeartbeatConfig heartbeat;  ///< paper defaults
+};
+
+struct BandwidthBreakdown {
+    double dynamic_pps = 0;            ///< appearance PDUs
+    double terrain_data_pps = 0;       ///< genuine terrain updates
+    double terrain_heartbeat_pps = 0;  ///< keep-alives
+    [[nodiscard]] double total() const {
+        return dynamic_pps + terrain_data_pps + terrain_heartbeat_pps;
+    }
+    [[nodiscard]] double heartbeat_fraction() const {
+        return total() > 0 ? terrain_heartbeat_pps / total() : 0;
+    }
+};
+
+/// Packet budget under the fixed-heartbeat scheme (heartbeat every h_min).
+[[nodiscard]] inline BandwidthBreakdown fixed_heartbeat_budget(const BattlefieldSpec& spec) {
+    BandwidthBreakdown out;
+    out.dynamic_pps = static_cast<double>(spec.dynamic_entities) * spec.dynamic_pdu_rate;
+    out.terrain_data_pps =
+        static_cast<double>(spec.terrain_entities) / spec.terrain_update_interval_s;
+    out.terrain_heartbeat_pps =
+        analysis::fixed_heartbeat_rate(to_seconds(spec.heartbeat.h_min),
+                                       spec.terrain_update_interval_s) *
+        static_cast<double>(spec.terrain_entities);
+    return out;
+}
+
+/// Packet budget under the variable-heartbeat scheme.
+[[nodiscard]] inline BandwidthBreakdown variable_heartbeat_budget(
+    const BattlefieldSpec& spec) {
+    BandwidthBreakdown out = fixed_heartbeat_budget(spec);
+    out.terrain_heartbeat_pps =
+        analysis::variable_heartbeat_rate(spec.heartbeat,
+                                          spec.terrain_update_interval_s) *
+        static_cast<double>(spec.terrain_entities);
+    return out;
+}
+
+}  // namespace lbrm::dis

@@ -1,0 +1,74 @@
+// Entity model for the Distributed Interactive Simulation substrate.
+//
+// The paper's Section 1/2.1.2 world: ~100,000 *dynamic* entities (tanks,
+// planes, jeeps) whose high-rate state is handled with appearance PDUs plus
+// dead reckoning, and ~100,000 *terrain* entities (bridges, buildings,
+// trees) that change rarely but need 1/4-second freshness -- the traffic
+// LBRM carries.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace lbrm::dis {
+
+using EntityId = detail::StrongId<struct EntityIdTag>;
+
+/// 3-vector in simulation coordinates (meters / meters-per-second).
+struct Vec3 {
+    double x = 0, y = 0, z = 0;
+
+    friend Vec3 operator+(Vec3 a, Vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+    friend Vec3 operator-(Vec3 a, Vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+    friend Vec3 operator*(Vec3 v, double k) { return {v.x * k, v.y * k, v.z * k}; }
+    friend bool operator==(Vec3, Vec3) = default;
+
+    [[nodiscard]] double norm() const { return std::sqrt(x * x + y * y + z * z); }
+};
+
+/// Kinematic state of a dynamic entity at a reference instant.
+struct EntityState {
+    EntityId id;
+    Vec3 position;
+    Vec3 velocity;
+    Vec3 acceleration;
+    TimePoint at{};  ///< instant the state was sampled
+
+    friend bool operator==(const EntityState&, const EntityState&) = default;
+};
+
+/// A terrain entity's application state: a small opaque blob plus a
+/// human-readable status (the "bridge intact / destroyed" of Section 1).
+struct TerrainState {
+    EntityId id;
+    std::string status;
+    std::uint32_t version = 0;
+
+    friend bool operator==(const TerrainState&, const TerrainState&) = default;
+
+    [[nodiscard]] std::vector<std::uint8_t> encode() const {
+        ByteWriter w;
+        w.u32(id.value());
+        w.u32(version);
+        w.str16(status);
+        return w.take();
+    }
+
+    static std::optional<TerrainState> decode(std::span<const std::uint8_t> wire) {
+        ByteReader r{wire};
+        auto id = r.u32();
+        auto version = r.u32();
+        auto status = r.str16();
+        if (!id || !version || !status) return std::nullopt;
+        return TerrainState{EntityId{*id}, std::move(*status), *version};
+    }
+};
+
+}  // namespace lbrm::dis

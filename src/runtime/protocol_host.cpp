@@ -1,0 +1,121 @@
+#include "runtime/protocol_host.hpp"
+
+namespace lbrm {
+
+SenderCore& ProtocolHost::add_sender(SenderConfig config, AppHandlers handlers) {
+    sender_ = std::make_unique<SenderSlot>(std::move(config), std::move(handlers));
+    return sender_->core;
+}
+
+ReceiverCore& ProtocolHost::add_receiver(ReceiverConfig config, AppHandlers handlers) {
+    receivers_.push_back(
+        std::make_unique<ReceiverSlot>(next_tag_++, std::move(config), std::move(handlers)));
+    return receivers_.back()->core;
+}
+
+LoggerCore& ProtocolHost::add_logger(LoggerConfig config, std::uint64_t rng_seed,
+                                     AppHandlers handlers) {
+    loggers_.push_back(std::make_unique<LoggerSlot>(next_tag_++, std::move(config), rng_seed,
+                                                    std::move(handlers)));
+    return loggers_.back()->core;
+}
+
+CoreBase& ProtocolHost::add_core(std::unique_ptr<CoreBase> core, AppHandlers handlers) {
+    generics_.push_back(GenericSlot{next_tag_++, std::move(core), std::move(handlers)});
+    return *generics_.back().core;
+}
+
+std::size_t ProtocolHost::core_count() const {
+    return (sender_ ? 1u : 0u) + receivers_.size() + loggers_.size() + generics_.size();
+}
+
+void ProtocolHost::start(TimePoint now) {
+    if (sender_) execute(now, 0, sender_->handlers, sender_->core.start(now));
+    for (auto& slot : receivers_)
+        execute(now, slot->tag, slot->handlers, slot->core.start(now));
+    for (auto& slot : loggers_)
+        execute(now, slot->tag, slot->handlers, slot->core.start(now));
+    for (auto& slot : generics_)
+        execute(now, slot.tag, slot.handlers, slot.core->start(now));
+}
+
+void ProtocolHost::on_packet(TimePoint now, const Packet& packet) {
+    // Every core sees every packet; each filters by group and type.  This
+    // mirrors a host process demultiplexing one socket to its protocol
+    // entities.
+    if (sender_) execute(now, 0, sender_->handlers, sender_->core.on_packet(now, packet));
+    for (auto& slot : receivers_)
+        execute(now, slot->tag, slot->handlers, slot->core.on_packet(now, packet));
+    for (auto& slot : loggers_)
+        execute(now, slot->tag, slot->handlers, slot->core.on_packet(now, packet));
+    for (auto& slot : generics_)
+        execute(now, slot.tag, slot.handlers, slot.core->on_packet(now, packet));
+}
+
+void ProtocolHost::on_datagram(TimePoint now, std::span<const std::uint8_t> datagram) {
+    if (auto packet = decode(datagram)) on_packet(now, *packet);
+}
+
+void ProtocolHost::on_timer(TimePoint now, std::uint32_t core_tag, TimerId id) {
+    if (core_tag == 0) {
+        if (sender_) execute(now, 0, sender_->handlers, sender_->core.on_timer(now, id));
+        return;
+    }
+    for (auto& slot : receivers_) {
+        if (slot->tag == core_tag) {
+            execute(now, slot->tag, slot->handlers, slot->core.on_timer(now, id));
+            return;
+        }
+    }
+    for (auto& slot : loggers_) {
+        if (slot->tag == core_tag) {
+            execute(now, slot->tag, slot->handlers, slot->core.on_timer(now, id));
+            return;
+        }
+    }
+    for (auto& slot : generics_) {
+        if (slot.tag == core_tag) {
+            execute(now, slot.tag, slot.handlers, slot.core->on_timer(now, id));
+            return;
+        }
+    }
+}
+
+void ProtocolHost::send(TimePoint now, std::span<const std::uint8_t> payload) {
+    if (!sender_) return;
+    execute(now, 0, sender_->handlers, sender_->core.send(now, payload));
+}
+
+void ProtocolHost::inject(TimePoint now, const CoreBase& core, Actions actions) {
+    for (auto& slot : generics_) {
+        if (slot.core.get() == &core) {
+            execute(now, slot.tag, slot.handlers, std::move(actions));
+            return;
+        }
+    }
+}
+
+void ProtocolHost::execute(TimePoint now, std::uint32_t tag, const AppHandlers& handlers,
+                           Actions&& actions) {
+    for (Action& action : actions) {
+        if (auto* send = std::get_if<SendUnicast>(&action)) {
+            network_.send_unicast(send->to, send->packet);
+        } else if (auto* mcast = std::get_if<SendMulticast>(&action)) {
+            network_.send_multicast(mcast->packet, mcast->scope);
+        } else if (auto* start = std::get_if<StartTimer>(&action)) {
+            timers_.arm(tag, start->id, start->deadline);
+        } else if (auto* cancel = std::get_if<CancelTimer>(&action)) {
+            timers_.cancel(tag, cancel->id);
+        } else if (auto* deliver = std::get_if<DeliverData>(&action)) {
+            if (handlers.on_data) handlers.on_data(now, *deliver);
+        } else if (auto* notice = std::get_if<Notice>(&action)) {
+            if (handlers.on_notice) handlers.on_notice(now, *notice);
+        } else if (auto* join = std::get_if<JoinGroup>(&action)) {
+            network_.join_group(join->group);
+        } else if (auto* leave = std::get_if<LeaveGroup>(&action)) {
+            network_.leave_group(leave->group);
+        }
+    }
+}
+
+}  // namespace lbrm

@@ -1,0 +1,105 @@
+// ProtocolHost: glues sans-IO cores to a driver.
+//
+// One ProtocolHost represents one network endpoint (one NodeId).  It owns
+// any mix of cores -- a sender, receivers, and logging servers for several
+// groups (the paper's recursion: "a single logging process may serve as the
+// primary logger for one group and as the secondary logger for another") --
+// routes incoming packets to all of them, executes the Actions they return
+// through the driver's NetworkService/TimerService, and forwards
+// DeliverData/Notice actions to application handlers.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/logger.hpp"
+#include "core/receiver.hpp"
+#include "core/sender.hpp"
+#include "runtime/services.hpp"
+
+namespace lbrm {
+
+class ProtocolHost {
+public:
+    ProtocolHost(NetworkService& network, TimerService& timers)
+        : network_(network), timers_(timers) {}
+
+    ProtocolHost(const ProtocolHost&) = delete;
+    ProtocolHost& operator=(const ProtocolHost&) = delete;
+
+    /// Attach cores.  References remain valid for the host's lifetime.
+    SenderCore& add_sender(SenderConfig config, AppHandlers handlers = {});
+    ReceiverCore& add_receiver(ReceiverConfig config, AppHandlers handlers = {});
+    LoggerCore& add_logger(LoggerConfig config, std::uint64_t rng_seed,
+                           AppHandlers handlers = {});
+    /// Attach an arbitrary sans-IO core (baseline protocols).
+    CoreBase& add_core(std::unique_ptr<CoreBase> core, AppHandlers handlers = {});
+
+    /// Start every attached core (arms initial timers, begins probing...).
+    void start(TimePoint now);
+
+    /// Driver entry: a decoded packet arrived addressed to (or multicast
+    /// reaching) this host.
+    void on_packet(TimePoint now, const Packet& packet);
+
+    /// Driver entry: raw datagram; silently drops undecodable input.
+    void on_datagram(TimePoint now, std::span<const std::uint8_t> datagram);
+
+    /// Driver entry: the timer (core_tag, id) fired.
+    void on_timer(TimePoint now, std::uint32_t core_tag, TimerId id);
+
+    /// Application entry: multicast a payload through the sender core.
+    void send(TimePoint now, std::span<const std::uint8_t> payload);
+
+    /// Application entry for generic cores: execute `actions` produced by a
+    /// direct call on an attached core (e.g. a baseline sender's send()),
+    /// so its sends/timers/notifications run through the host services.
+    void inject(TimePoint now, const CoreBase& core, Actions actions);
+
+    [[nodiscard]] SenderCore* sender() { return sender_ ? &sender_->core : nullptr; }
+    [[nodiscard]] std::size_t core_count() const;
+
+private:
+    // Tagged slots: tag 0 = sender; receivers and loggers get tags 1..N in
+    // attach order.
+    struct SenderSlot {
+        SenderCore core;
+        AppHandlers handlers;
+        explicit SenderSlot(SenderConfig c, AppHandlers h)
+            : core(std::move(c)), handlers(std::move(h)) {}
+    };
+    struct ReceiverSlot {
+        std::uint32_t tag;
+        ReceiverCore core;
+        AppHandlers handlers;
+        ReceiverSlot(std::uint32_t t, ReceiverConfig c, AppHandlers h)
+            : tag(t), core(std::move(c)), handlers(std::move(h)) {}
+    };
+    struct LoggerSlot {
+        std::uint32_t tag;
+        LoggerCore core;
+        AppHandlers handlers;
+        LoggerSlot(std::uint32_t t, LoggerConfig c, std::uint64_t seed, AppHandlers h)
+            : tag(t), core(std::move(c), seed), handlers(std::move(h)) {}
+    };
+    struct GenericSlot {
+        std::uint32_t tag;
+        std::unique_ptr<CoreBase> core;
+        AppHandlers handlers;
+    };
+
+    void execute(TimePoint now, std::uint32_t tag, const AppHandlers& handlers,
+                 Actions&& actions);
+
+    NetworkService& network_;
+    TimerService& timers_;
+
+    std::unique_ptr<SenderSlot> sender_;
+    std::vector<std::unique_ptr<ReceiverSlot>> receivers_;
+    std::vector<std::unique_ptr<LoggerSlot>> loggers_;
+    std::vector<GenericSlot> generics_;
+    std::uint32_t next_tag_ = 1;
+};
+
+}  // namespace lbrm

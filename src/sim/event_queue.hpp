@@ -1,0 +1,88 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal timestamps fire in insertion order (a monotonic tiebreak
+// id), which makes whole-network simulations bit-reproducible for a given
+// seed -- essential for regression tests that assert exact packet counts.
+// Cancellation is lazy: cancelled ids are skipped when they surface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace lbrm::sim {
+
+class EventQueue {
+public:
+    using Callback = std::function<void()>;
+
+    /// Enqueue `fn` to run at absolute time `at`; returns a cancellable id.
+    std::uint64_t schedule(TimePoint at, Callback fn) {
+        const std::uint64_t id = next_id_++;
+        heap_.push(Entry{at, id, std::move(fn)});
+        return id;
+    }
+
+    void cancel(std::uint64_t id) {
+        if (id != 0 && id < next_id_) cancelled_.insert(id);
+    }
+
+    [[nodiscard]] bool empty() {
+        purge();
+        return heap_.empty();
+    }
+
+    /// Time of the next runnable event.  Pre: !empty().
+    [[nodiscard]] TimePoint next_time() {
+        purge();
+        return heap_.top().at;
+    }
+
+    struct Popped {
+        TimePoint at;
+        Callback fn;
+    };
+
+    /// Pop the next runnable event.  Pre: !empty().
+    Popped pop() {
+        purge();
+        Popped out{heap_.top().at, std::move(heap_.top().fn)};
+        heap_.pop();
+        return out;
+    }
+
+    /// Scheduled (possibly cancelled) entries still in the heap.
+    [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+private:
+    struct Entry {
+        TimePoint at;
+        std::uint64_t id;
+        mutable Callback fn;  // moved out on pop; never run twice
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const {
+            if (a.at != b.at) return a.at > b.at;
+            return a.id > b.id;
+        }
+    };
+
+    void purge() {
+        while (!heap_.empty()) {
+            auto it = cancelled_.find(heap_.top().id);
+            if (it == cancelled_.end()) break;
+            cancelled_.erase(it);
+            heap_.pop();
+        }
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<std::uint64_t> cancelled_;
+    std::uint64_t next_id_ = 1;
+};
+
+}  // namespace lbrm::sim

@@ -1,0 +1,98 @@
+// A unidirectional network link with propagation delay, finite bandwidth
+// (serialization delay + FIFO queueing via a busy-until horizon), a
+// drop-tail queue bound, and a pluggable loss model.
+//
+// Per-link, per-packet-type statistics feed the paper's bandwidth
+// arguments: the Section 2.2.2 experiments count exactly how many NACKs and
+// repairs cross each tail circuit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "packet/packet.hpp"
+#include "sim/loss_model.hpp"
+
+namespace lbrm::sim {
+
+struct LinkSpec {
+    Duration propagation = millis(1);
+    /// Bits per second; 0 means infinite (no serialization/queueing delay).
+    double bandwidth_bps = 0.0;
+    /// Maximum tolerated queueing delay before drop-tail; zero = unlimited.
+    Duration max_queue_delay = Duration::zero();
+};
+
+struct LinkStats {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t drops_loss = 0;
+    std::uint64_t drops_queue = 0;
+    /// Packets per PacketType (index = numeric type value).
+    std::array<std::uint64_t, 32> by_type{};
+
+    [[nodiscard]] std::uint64_t packets_of(PacketType t) const {
+        return by_type[static_cast<std::size_t>(t)];
+    }
+};
+
+class Link {
+public:
+    Link(NodeId from, NodeId to, LinkSpec spec)
+        : from_(from), to_(to), spec_(spec), loss_(std::make_unique<NoLoss>()) {}
+
+    void set_loss_model(std::unique_ptr<LossModel> model) {
+        loss_ = model ? std::move(model) : std::make_unique<NoLoss>();
+    }
+
+    /// Account and time one packet handed to this link at `now`.
+    /// Returns the arrival time at the far end, or std::nullopt if the
+    /// packet was dropped (loss model or queue overflow).
+    std::optional<TimePoint> transmit(Rng& rng, TimePoint now, std::size_t bytes,
+                                      PacketType type) {
+        if (loss_->drop(rng, now)) {
+            ++stats_.drops_loss;
+            return std::nullopt;
+        }
+
+        Duration serialization = Duration::zero();
+        TimePoint depart = now;
+        if (spec_.bandwidth_bps > 0.0) {
+            serialization = secs(static_cast<double>(bytes) * 8.0 / spec_.bandwidth_bps);
+            const TimePoint start = busy_until_ > now ? busy_until_ : now;
+            if (spec_.max_queue_delay != Duration::zero() &&
+                start - now > spec_.max_queue_delay) {
+                ++stats_.drops_queue;
+                return std::nullopt;
+            }
+            depart = start + serialization;
+            busy_until_ = depart;
+        }
+
+        ++stats_.packets;
+        stats_.bytes += bytes;
+        ++stats_.by_type[static_cast<std::size_t>(type)];
+        return depart + spec_.propagation;
+    }
+
+    [[nodiscard]] NodeId from() const { return from_; }
+    [[nodiscard]] NodeId to() const { return to_; }
+    [[nodiscard]] const LinkSpec& spec() const { return spec_; }
+    [[nodiscard]] const LinkStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = LinkStats{}; }
+
+private:
+    NodeId from_;
+    NodeId to_;
+    LinkSpec spec_;
+    std::unique_ptr<LossModel> loss_;
+    TimePoint busy_until_ = time_zero();
+    LinkStats stats_;
+};
+
+}  // namespace lbrm::sim

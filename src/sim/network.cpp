@@ -1,0 +1,261 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "sim/sim_host.hpp"
+
+namespace lbrm::sim {
+
+Network::Network(Simulator& simulator, std::uint64_t seed)
+    : simulator_(simulator), rng_(seed) {}
+
+Network::~Network() = default;
+
+NodeId Network::add_node(SiteId site, bool is_router) {
+    NodeRec record;
+    record.site = site;
+    record.is_router = is_router;
+    nodes_.push_back(std::move(record));
+    finalized_ = false;
+    return NodeId{static_cast<std::uint32_t>(nodes_.size())};
+}
+
+void Network::add_link(NodeId a, NodeId b, const LinkSpec& spec) {
+    if (index(a) >= nodes_.size() || index(b) >= nodes_.size() || a == b)
+        throw std::invalid_argument("Network::add_link: bad endpoints");
+    links_[{a, b}] = std::make_unique<Link>(a, b, spec);
+    links_[{b, a}] = std::make_unique<Link>(b, a, spec);
+    rec(a).neighbors.push_back(b);
+    rec(b).neighbors.push_back(a);
+    finalized_ = false;
+}
+
+void Network::set_loss(NodeId a, NodeId b, std::unique_ptr<LossModel> model) {
+    Link* l = link(a, b);
+    if (l == nullptr) throw std::invalid_argument("Network::set_loss: no such link");
+    l->set_loss_model(std::move(model));
+}
+
+void Network::set_node_down(NodeId node, bool down) { rec(node).down = down; }
+
+Link* Network::link(NodeId a, NodeId b) {
+    auto it = links_.find({a, b});
+    return it == links_.end() ? nullptr : it->second.get();
+}
+
+const Link* Network::link(NodeId a, NodeId b) const {
+    auto it = links_.find({a, b});
+    return it == links_.end() ? nullptr : it->second.get();
+}
+
+SiteId Network::site_of(NodeId node) const { return rec(node).site; }
+
+void Network::finalize() {
+    const std::size_t n = nodes_.size();
+    routes_.assign(n * n, 0);
+
+    // Dijkstra from every node; weight = propagation + 1 microsecond hop
+    // penalty (prefers fewer hops between equal-latency paths, keeping
+    // routes deterministic).
+    using Dist = std::int64_t;
+    constexpr Dist kInf = std::numeric_limits<Dist>::max();
+    std::vector<Dist> dist(n);
+    std::vector<std::uint32_t> first_hop(n);
+
+    for (std::size_t src = 0; src < n; ++src) {
+        std::fill(dist.begin(), dist.end(), kInf);
+        std::fill(first_hop.begin(), first_hop.end(), 0u);
+        dist[src] = 0;
+
+        using QE = std::pair<Dist, std::uint32_t>;  // (distance, node index)
+        std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+        pq.emplace(0, static_cast<std::uint32_t>(src));
+
+        while (!pq.empty()) {
+            auto [d, u] = pq.top();
+            pq.pop();
+            if (d != dist[u]) continue;
+            for (NodeId v_id : nodes_[u].neighbors) {
+                const std::size_t v = index(v_id);
+                const Link* l = link(NodeId{static_cast<std::uint32_t>(u + 1)}, v_id);
+                const Dist w = l->spec().propagation.count() + 1000;  // +1us per hop
+                if (d + w < dist[v]) {
+                    dist[v] = d + w;
+                    first_hop[v] = (u == src) ? v_id.value() : first_hop[u];
+                    pq.emplace(dist[v], static_cast<std::uint32_t>(v));
+                }
+            }
+        }
+        for (std::size_t dst = 0; dst < n; ++dst) routes_[src * n + dst] = first_hop[dst];
+    }
+    finalized_ = true;
+}
+
+NodeId Network::next_hop(NodeId from, NodeId to) const {
+    if (!finalized_) throw std::logic_error("Network: finalize() before sending traffic");
+    const std::uint32_t hop = routes_[index(from) * nodes_.size() + index(to)];
+    return hop == 0 ? kNoNode : NodeId{hop};
+}
+
+void Network::join(GroupId group, NodeId node) { groups_[group].insert(node); }
+
+void Network::leave(GroupId group, NodeId node) {
+    auto it = groups_.find(group);
+    if (it != groups_.end()) it->second.erase(node);
+}
+
+SimHost& Network::attach_host(NodeId node) {
+    NodeRec& record = rec(node);
+    if (!record.host) record.host = std::make_unique<SimHost>(*this, simulator_, node);
+    return *record.host;
+}
+
+SimHost* Network::host(NodeId node) { return rec(node).host.get(); }
+
+void Network::deliver_local(NodeId node, std::shared_ptr<const Packet> packet) {
+    NodeRec& record = rec(node);
+    if (record.down || !record.host) return;
+    record.host->deliver(simulator_.now(), *packet);
+}
+
+// ---------------------------------------------------------------------------
+// Unicast
+// ---------------------------------------------------------------------------
+
+void Network::unicast(NodeId from, NodeId to, const Packet& packet) {
+    if (rec(from).down) return;
+    if (from == to) {  // local delivery without touching the network
+        auto shared = std::make_shared<const Packet>(packet);
+        simulator_.schedule_in(Duration::zero(),
+                               [this, to, shared] { deliver_local(to, shared); });
+        return;
+    }
+    auto shared = std::make_shared<const Packet>(packet);
+    const std::size_t bytes = encode(packet).size();
+    forward_unicast(from, to, std::move(shared), bytes);
+}
+
+void Network::forward_unicast(NodeId at, NodeId to, std::shared_ptr<const Packet> packet,
+                              std::size_t bytes) {
+    const NodeId hop = next_hop(at, to);
+    if (hop == kNoNode) return;  // unreachable
+    Link* l = link(at, hop);
+    auto arrival = l->transmit(rng_, simulator_.now(), bytes, packet->type());
+    if (tap_) tap_(simulator_.now(), *l, *packet, arrival.has_value());
+    if (!arrival) return;
+
+    simulator_.schedule_at(*arrival, [this, hop, to, packet = std::move(packet), bytes] {
+        if (rec(hop).down) return;
+        if (hop == to) {
+            deliver_local(to, packet);
+        } else {
+            forward_unicast(hop, to, packet, bytes);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Multicast
+// ---------------------------------------------------------------------------
+
+struct Network::TreeDelivery {
+    std::map<NodeId, std::vector<NodeId>> children;
+    std::set<NodeId> members;
+    std::shared_ptr<const Packet> packet;
+    std::size_t bytes = 0;
+};
+
+void Network::multicast(NodeId from, const Packet& packet, McastScope scope) {
+    if (rec(from).down) return;
+    auto it = groups_.find(packet.header.group);
+    if (it == groups_.end()) return;
+
+    auto tree = std::make_shared<TreeDelivery>();
+    tree->packet = std::make_shared<const Packet>(packet);
+    tree->bytes = encode(packet).size();
+
+    // Hop budget per scope: site = never leave the sender's site; region =
+    // up to 4 hops (adjacent sites through the backbone); global = all.
+    const SiteId sender_site = site_of(from);
+    const std::size_t hop_limit = scope == McastScope::kRegion ? 4u
+                                  : scope == McastScope::kSite
+                                      ? std::numeric_limits<std::size_t>::max()
+                                      : std::numeric_limits<std::size_t>::max();
+
+    for (NodeId member : it->second) {
+        if (member == from || rec(member).down) continue;
+        if (scope == McastScope::kSite && site_of(member) != sender_site) continue;
+
+        // Trace the unicast path; collect the edge chain.
+        std::vector<NodeId> path{from};
+        NodeId at = from;
+        bool reachable = true;
+        while (at != member) {
+            const NodeId hop = next_hop(at, member);
+            if (hop == kNoNode) {
+                reachable = false;
+                break;
+            }
+            path.push_back(hop);
+            at = hop;
+            if (path.size() > nodes_.size()) {
+                reachable = false;  // routing loop guard
+                break;
+            }
+        }
+        if (!reachable || path.size() - 1 > hop_limit) continue;
+        if (scope == McastScope::kSite) {
+            bool stays = true;
+            for (NodeId n : path)
+                if (site_of(n) != sender_site) stays = false;
+            if (!stays) continue;
+        }
+
+        tree->members.insert(member);
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            auto& kids = tree->children[path[i]];
+            if (std::find(kids.begin(), kids.end(), path[i + 1]) == kids.end())
+                kids.push_back(path[i + 1]);
+        }
+    }
+
+    if (!tree->members.empty()) multicast_step(tree, from);
+}
+
+void Network::multicast_step(const std::shared_ptr<TreeDelivery>& tree, NodeId at) {
+    auto it = tree->children.find(at);
+    if (it == tree->children.end()) return;
+    for (NodeId child : it->second) {
+        Link* l = link(at, child);
+        if (l == nullptr) continue;
+        auto arrival = l->transmit(rng_, simulator_.now(), tree->bytes, tree->packet->type());
+        if (tap_) tap_(simulator_.now(), *l, *tree->packet, arrival.has_value());
+        if (!arrival) continue;
+        simulator_.schedule_at(*arrival, [this, tree, child] {
+            if (rec(child).down) return;
+            if (tree->members.contains(child)) deliver_local(child, tree->packet);
+            multicast_step(tree, child);
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::uint64_t Network::count_packets(PacketType type,
+                                     const std::function<bool(const Link&)>& pred) const {
+    std::uint64_t total = 0;
+    for (const auto& [key, l] : links_)
+        if (!pred || pred(*l)) total += l->stats().packets_of(type);
+    return total;
+}
+
+void Network::reset_link_stats() {
+    for (auto& [key, l] : links_) l->reset_stats();
+}
+
+}  // namespace lbrm::sim

@@ -1,0 +1,130 @@
+// The simulated internetwork.
+//
+// Owns nodes, directed links, shortest-path routing, multicast group
+// membership and the per-hop packet transport.  Multicast follows a
+// source-rooted shortest-path tree with one copy per tree edge -- so the
+// per-link statistics reflect true multicast economics (one packet on the
+// shared tail circuit, not twenty).  Scoped multicast (Section 2.2.1's
+// TTL-limited repairs and discovery rings) prunes the tree: site scope never
+// leaves the sender's site; region scope is hop-limited.
+//
+// Protocol endpoints attach as SimHost objects (see sim_host.hpp); the
+// network delivers decoded packets to them and provides their timers via
+// the shared Simulator.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "core/actions.hpp"
+#include "packet/packet.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace lbrm {
+class ProtocolHost;
+}
+
+namespace lbrm::sim {
+
+class SimHost;
+
+class Network {
+public:
+    Network(Simulator& simulator, std::uint64_t seed);
+
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+    ~Network();
+
+    // --- construction ----------------------------------------------------
+    /// Add a node; returns its id (ids are assigned 1, 2, 3, ...).
+    NodeId add_node(SiteId site, bool is_router = false);
+
+    /// Add a bidirectional cable: two directed links with the same spec.
+    void add_link(NodeId a, NodeId b, const LinkSpec& spec);
+
+    /// Replace the loss model of the directed link a -> b.
+    void set_loss(NodeId a, NodeId b, std::unique_ptr<LossModel> model);
+
+    /// Mark a node dead/alive (a dead node neither sends nor receives --
+    /// models logger crashes for the Section 2.2.3 failover experiments).
+    void set_node_down(NodeId node, bool down);
+
+    /// Compute routing tables.  Must be called after the last add_link and
+    /// before any traffic; adding links later requires calling it again.
+    void finalize();
+
+    // --- membership -------------------------------------------------------
+    void join(GroupId group, NodeId node);
+    void leave(GroupId group, NodeId node);
+
+    // --- host attachment ---------------------------------------------------
+    /// Create (once) and return the protocol host bound to `node`.
+    SimHost& attach_host(NodeId node);
+    [[nodiscard]] SimHost* host(NodeId node);
+
+    // --- traffic ------------------------------------------------------------
+    void unicast(NodeId from, NodeId to, const Packet& packet);
+    void multicast(NodeId from, const Packet& packet, McastScope scope);
+
+    // --- introspection -------------------------------------------------------
+    [[nodiscard]] Link* link(NodeId a, NodeId b);
+    [[nodiscard]] const Link* link(NodeId a, NodeId b) const;
+    [[nodiscard]] SiteId site_of(NodeId node) const;
+    [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+    [[nodiscard]] Simulator& simulator() { return simulator_; }
+
+    /// Observation tap invoked for every packet put on any link (after the
+    /// loss/queue decision, with `delivered` telling the outcome).
+    using Tap = std::function<void(TimePoint, const Link&, const Packet&, bool delivered)>;
+    void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+    /// Sum of a statistic across all links, filtered by a predicate.
+    [[nodiscard]] std::uint64_t count_packets(
+        PacketType type, const std::function<bool(const Link&)>& pred) const;
+
+    void reset_link_stats();
+
+private:
+    struct NodeRec {
+        SiteId site;
+        bool is_router = false;
+        bool down = false;
+        std::unique_ptr<SimHost> host;
+        std::vector<NodeId> neighbors;
+    };
+
+    struct TreeDelivery;  // per-multicast shared state
+
+    [[nodiscard]] std::size_t index(NodeId id) const { return id.value() - 1; }
+    [[nodiscard]] NodeRec& rec(NodeId id) { return nodes_[index(id)]; }
+    [[nodiscard]] const NodeRec& rec(NodeId id) const { return nodes_[index(id)]; }
+
+    /// Next hop from `from` toward `to`; kNoNode when unreachable.
+    [[nodiscard]] NodeId next_hop(NodeId from, NodeId to) const;
+
+    void forward_unicast(NodeId at, NodeId to,
+                         std::shared_ptr<const Packet> packet, std::size_t bytes);
+    void deliver_local(NodeId node, std::shared_ptr<const Packet> packet);
+    void multicast_step(const std::shared_ptr<TreeDelivery>& tree, NodeId at);
+
+    Simulator& simulator_;
+    Rng rng_;
+    std::vector<NodeRec> nodes_;
+    std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
+    std::map<GroupId, std::set<NodeId>> groups_;
+    /// routes_[src_index * n + dst_index] = next hop id value (0 = none).
+    std::vector<std::uint32_t> routes_;
+    bool finalized_ = false;
+    Tap tap_;
+};
+
+}  // namespace lbrm::sim

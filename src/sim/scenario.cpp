@@ -1,0 +1,269 @@
+#include "sim/scenario.hpp"
+
+#include <stdexcept>
+
+namespace lbrm::sim {
+
+DisScenario::DisScenario(ScenarioConfig config)
+    : config_(std::move(config)), simulator_(), network_(simulator_, config_.seed),
+      topology_(make_dis_topology(network_, config_.topology)) {
+    network_.finalize();
+
+    wire_source();
+    if (config_.use_regional_loggers)
+        for (std::size_t r = 0; r < topology_.regions.size(); ++r)
+            wire_region(topology_.regions[r], r);
+    for (std::size_t s = 0; s < topology_.sites.size(); ++s)
+        wire_site(topology_.sites[s], s);
+}
+
+void DisScenario::wire_region(const DisTopology::Region& region, std::size_t region_index) {
+    SimHost& host = network_.attach_host(region.logger);
+    hosts_.push_back(&host);
+
+    LoggerConfig logger_config = config_.logger_defaults;
+    logger_config.self = region.logger;
+    logger_config.group = config_.group;
+    logger_config.source = topology_.source;
+    logger_config.role = LoggerRole::kSecondary;  // the recursion: same role, higher tier
+    logger_config.upstream = topology_.primary;
+    logger_config.participate_in_acking = false;  // site secondaries handle acking
+    // Its clients are site secondaries at other sites: repairs must unicast.
+    logger_config.site_multicast_repairs = false;
+
+    AppHandlers handlers;
+    const NodeId id = region.logger;
+    handlers.on_notice = [this, id](TimePoint at, const Notice& n) {
+        notices_.push_back({id, n.kind, n.arg, at});
+    };
+    regional_cores_.push_back(&host.protocol().add_logger(
+        std::move(logger_config), config_.seed * 433 + region_index, handlers));
+    network_.join(config_.group, region.logger);
+}
+
+void DisScenario::wire_source() {
+    const GroupId group = config_.group;
+
+    // --- sender -----------------------------------------------------------
+    SimHost& source_host = network_.attach_host(topology_.source);
+    hosts_.push_back(&source_host);
+
+    SenderConfig sender_config;
+    sender_config.self = topology_.source;
+    sender_config.group = group;
+    sender_config.primary_logger = topology_.primary;
+    sender_config.replicas = topology_.replicas;
+    sender_config.heartbeat = config_.heartbeat;
+    sender_config.stat_ack = config_.stat_ack;
+    sender_config.heartbeat_carries_small_data = config_.heartbeat_carries_small_data;
+    if (config_.use_retrans_channel) {
+        sender_config.retrans_channel = retrans_group();
+        sender_config.retrans_channel_copies = config_.retrans_channel_copies;
+        sender_config.retrans_channel_first_delay = config_.retrans_channel_first_delay;
+    }
+
+    AppHandlers sender_handlers;
+    sender_handlers.on_notice = [this](TimePoint at, const Notice& n) {
+        notices_.push_back({topology_.source, n.kind, n.arg, at});
+    };
+    sender_core_ =
+        &source_host.protocol().add_sender(std::move(sender_config), sender_handlers);
+
+    // --- primary logger -----------------------------------------------------
+    SimHost& primary_host = network_.attach_host(topology_.primary);
+    hosts_.push_back(&primary_host);
+
+    LoggerConfig primary_config = config_.logger_defaults;
+    primary_config.self = topology_.primary;
+    primary_config.group = group;
+    primary_config.source = topology_.source;
+    primary_config.role = LoggerRole::kPrimary;
+    primary_config.upstream = kNoNode;
+    primary_config.replicas = topology_.replicas;
+    primary_config.remulticast_request_threshold = config_.remulticast_request_threshold;
+
+    AppHandlers primary_handlers;
+    primary_handlers.on_notice = [this](TimePoint at, const Notice& n) {
+        notices_.push_back({topology_.primary, n.kind, n.arg, at});
+    };
+    primary_core_ = &primary_host.protocol().add_logger(std::move(primary_config),
+                                                        config_.seed * 7919 + 1,
+                                                        primary_handlers);
+    // The primary listens to the group stream too (it is reachable by
+    // multicast), but its log authority comes from LogStore handoff.
+    network_.join(group, topology_.primary);
+
+    // --- replicas -------------------------------------------------------------
+    std::uint64_t salt = 101;
+    for (NodeId replica : topology_.replicas) {
+        SimHost& host = network_.attach_host(replica);
+        hosts_.push_back(&host);
+
+        LoggerConfig replica_config = config_.logger_defaults;
+        replica_config.self = replica;
+        replica_config.group = group;
+        replica_config.source = topology_.source;
+        replica_config.role = LoggerRole::kReplica;
+        replica_config.upstream = topology_.primary;
+
+        AppHandlers handlers;
+        handlers.on_notice = [this, replica](TimePoint at, const Notice& n) {
+            notices_.push_back({replica, n.kind, n.arg, at});
+        };
+        host.protocol().add_logger(std::move(replica_config), config_.seed * 104729 + salt++,
+                                   handlers);
+    }
+}
+
+void DisScenario::wire_site(const DisTopology::Site& site, std::size_t site_index) {
+    const GroupId group = config_.group;
+
+    NodeId local_logger = kNoNode;
+    if (config_.use_secondary_loggers && site.secondary != kNoNode) {
+        SimHost& host = network_.attach_host(site.secondary);
+        hosts_.push_back(&host);
+
+        LoggerConfig logger_config = config_.logger_defaults;
+        logger_config.self = site.secondary;
+        logger_config.group = group;
+        logger_config.source = topology_.source;
+        logger_config.role = LoggerRole::kSecondary;
+        logger_config.upstream = topology_.primary;
+        if (config_.use_regional_loggers) {
+            // Three-level hierarchy: the site fetches from its region.
+            if (const auto* region = topology_.region_of_site(site_index))
+                logger_config.upstream = region->logger;
+        }
+        logger_config.remulticast_request_threshold = config_.remulticast_request_threshold;
+
+        AppHandlers handlers;
+        const NodeId id = site.secondary;
+        handlers.on_notice = [this, id](TimePoint at, const Notice& n) {
+            notices_.push_back({id, n.kind, n.arg, at});
+        };
+        secondary_cores_.push_back(&host.protocol().add_logger(
+            std::move(logger_config), config_.seed * 31 + site_index, handlers));
+        network_.join(group, site.secondary);
+        local_logger = site.secondary;
+    } else {
+        secondary_cores_.push_back(nullptr);
+    }
+
+    for (NodeId node : site.receivers) {
+        SimHost& host = network_.attach_host(node);
+        hosts_.push_back(&host);
+
+        if (config_.rotate_site_loggers) {
+            // Rotating-logger mode (Section 2.2.1 alternative): this host
+            // also runs a secondary logger that passively logs the stream
+            // and serves NACKs whenever the rotation points here.
+            LoggerConfig rotating = config_.logger_defaults;
+            rotating.self = node;
+            rotating.group = group;
+            rotating.source = topology_.source;
+            rotating.role = LoggerRole::kSecondary;
+            rotating.upstream = topology_.primary;
+            rotating.participate_in_acking = false;  // dedicated loggers ack
+            rotating.answer_discovery = false;
+            host.protocol().add_logger(std::move(rotating),
+                                       config_.seed * 57 + node.value());
+        }
+
+        ReceiverConfig receiver_config = config_.receiver_defaults;
+        receiver_config.self = node;
+        receiver_config.group = group;
+        receiver_config.source = topology_.source;
+        receiver_config.max_idle = config_.max_idle;
+        receiver_config.heartbeat = config_.heartbeat;
+        if (config_.discover_loggers) {
+            receiver_config.logger = kNoNode;
+        } else {
+            receiver_config.logger =
+                local_logger != kNoNode ? local_logger : topology_.primary;
+        }
+        receiver_config.fallback_logger = topology_.primary;
+        if (config_.rotate_site_loggers) {
+            receiver_config.rotating_loggers = site.receivers;
+            receiver_config.rotation_slot = config_.rotation_slot;
+        }
+        if (config_.use_retrans_channel) receiver_config.retrans_channel = retrans_group();
+
+        AppHandlers handlers;
+        handlers.on_data = [this, node](TimePoint at, const DeliverData& d) {
+            deliveries_.push_back({node, d.seq, at, d.recovered, d.payload});
+        };
+        handlers.on_notice = [this, node](TimePoint at, const Notice& n) {
+            notices_.push_back({node, n.kind, n.arg, at});
+        };
+        receiver_cores_[node] =
+            &host.protocol().add_receiver(std::move(receiver_config), handlers);
+        network_.join(group, node);
+    }
+}
+
+void DisScenario::start() {
+    const TimePoint now = simulator_.now();
+    for (SimHost* host : hosts_) host->protocol().start(now);
+}
+
+void DisScenario::send_update(std::vector<std::uint8_t> payload) {
+    SimHost* host = network_.host(topology_.source);
+    host->protocol().send(simulator_.now(), payload);
+    sends_.push_back({sender().last_seq(), simulator_.now()});
+}
+
+void DisScenario::send_update(std::size_t size) {
+    std::vector<std::uint8_t> payload(size);
+    for (std::size_t i = 0; i < size; ++i)
+        payload[i] = static_cast<std::uint8_t>(i * 31 + sends_.size());
+    send_update(std::move(payload));
+}
+
+SenderCore& DisScenario::sender() {
+    if (sender_core_ == nullptr) throw std::logic_error("scenario: no sender");
+    return *sender_core_;
+}
+
+LoggerCore& DisScenario::secondary_logger(std::size_t site) {
+    LoggerCore* core = secondary_cores_.at(site);
+    if (core == nullptr) throw std::logic_error("scenario: site has no secondary logger");
+    return *core;
+}
+
+LoggerCore& DisScenario::regional_logger(std::size_t region) {
+    return *regional_cores_.at(region);
+}
+
+ReceiverCore& DisScenario::receiver(NodeId node) {
+    auto it = receiver_cores_.find(node);
+    if (it == receiver_cores_.end()) throw std::logic_error("scenario: unknown receiver");
+    return *it->second;
+}
+
+std::map<NodeId, TimePoint> DisScenario::delivery_times(SeqNum seq) const {
+    std::map<NodeId, TimePoint> out;
+    for (const DeliveryRecord& d : deliveries_)
+        if (d.seq == seq && !out.contains(d.node)) out.emplace(d.node, d.at);
+    return out;
+}
+
+std::optional<TimePoint> DisScenario::sent_at(SeqNum seq) const {
+    for (const SendRecord& s : sends_)
+        if (s.seq == seq) return s.at;
+    return std::nullopt;
+}
+
+std::size_t DisScenario::notice_count(NoticeKind kind) const {
+    std::size_t n = 0;
+    for (const NoticeRecord& r : notices_)
+        if (r.kind == kind) ++n;
+    return n;
+}
+
+void DisScenario::clear_records() {
+    deliveries_.clear();
+    notices_.clear();
+    sends_.clear();
+}
+
+}  // namespace lbrm::sim

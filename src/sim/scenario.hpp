@@ -1,0 +1,158 @@
+// A fully wired LBRM deployment on the Figure-1 DIS topology.
+//
+// DisScenario builds the network, attaches a SenderCore at the source, a
+// primary LoggerCore (plus replicas), one secondary LoggerCore per site and
+// a ReceiverCore per receiver host, joins the right nodes to the right
+// multicast groups, and records every delivery and notice with timestamps.
+// Integration tests, benches and examples all run on top of it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/network.hpp"
+#include "sim/sim_host.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+
+namespace lbrm::sim {
+
+struct ScenarioConfig {
+    DisTopologySpec topology;
+    GroupId group{1};
+    std::uint64_t seed = 42;
+
+    HeartbeatConfig heartbeat;
+    StatAckConfig stat_ack;
+    Duration max_idle = secs(0.25);
+
+    /// Point receivers at their site's secondary logger (distributed
+    /// logging, Section 2.2).  When false every receiver NACKs the primary
+    /// directly (the centralized baseline of Figure 7a).
+    bool use_secondary_loggers = true;
+
+    /// Let receivers discover their logger via expanding-ring multicast
+    /// instead of static configuration (Section 2.2.1).
+    bool discover_loggers = false;
+
+    /// Secondary re-multicast threshold (LoggerConfig default otherwise).
+    std::uint32_t remulticast_request_threshold = 3;
+
+    /// Section 7 extension: heartbeats repeat the last (small) data packet.
+    bool heartbeat_carries_small_data = false;
+
+    /// Section 7 extension: recover via a dedicated retransmission channel
+    /// (group id `group.value() + 1`) instead of NACKs.
+    bool use_retrans_channel = false;
+    std::uint32_t retrans_channel_copies = 3;
+    Duration retrans_channel_first_delay = millis(40);
+
+    /// Section 2.2.1 alternative: instead of one dedicated secondary per
+    /// site, every receiver host doubles as a secondary logger and receivers
+    /// rotate their NACK target among them each `rotation_slot`.
+    bool rotate_site_loggers = false;
+    Duration rotation_slot = secs(2.0);
+
+    /// Section 7 extension: when the topology has a regional tier
+    /// (topology.sites_per_region > 0), run a logging server per region:
+    /// site secondaries fetch from their regional logger, which fetches
+    /// from the primary -- a three-level hierarchy.
+    bool use_regional_loggers = false;
+
+    ReceiverConfig receiver_defaults;  ///< timing knobs (nack delays etc.)
+    LoggerConfig logger_defaults;      ///< retention, fetch timing
+};
+
+class DisScenario {
+public:
+    explicit DisScenario(ScenarioConfig config);
+
+    DisScenario(const DisScenario&) = delete;
+    DisScenario& operator=(const DisScenario&) = delete;
+
+    /// Start every endpoint at the current simulation time.
+    void start();
+
+    /// Multicast one application payload from the source.
+    void send_update(std::vector<std::uint8_t> payload);
+    /// Convenience: send a `size`-byte patterned payload.
+    void send_update(std::size_t size);
+
+    void run_for(Duration d) { simulator_.run_for(d); }
+    void run_until(TimePoint t) { simulator_.run_until(t); }
+
+    [[nodiscard]] Simulator& simulator() { return simulator_; }
+    [[nodiscard]] Network& network() { return network_; }
+    [[nodiscard]] const DisTopology& topology() const { return topology_; }
+    [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+
+    [[nodiscard]] SenderCore& sender();
+    [[nodiscard]] LoggerCore& primary_logger() { return *primary_core_; }
+    [[nodiscard]] LoggerCore& secondary_logger(std::size_t site);
+    [[nodiscard]] LoggerCore& regional_logger(std::size_t region);
+    [[nodiscard]] ReceiverCore& receiver(NodeId node);
+    /// The retransmission-channel group id (valid when enabled).
+    [[nodiscard]] GroupId retrans_group() const {
+        return GroupId{config_.group.value() + 1};
+    }
+
+    // --- recorded observations -------------------------------------------
+    struct DeliveryRecord {
+        NodeId node;
+        SeqNum seq;
+        TimePoint at{};
+        bool recovered = false;
+        std::vector<std::uint8_t> payload;
+    };
+    struct NoticeRecord {
+        NodeId node;
+        NoticeKind kind{};
+        std::uint64_t arg = 0;
+        TimePoint at{};
+    };
+    struct SendRecord {
+        SeqNum seq;
+        TimePoint at{};
+    };
+
+    [[nodiscard]] const std::vector<DeliveryRecord>& deliveries() const {
+        return deliveries_;
+    }
+    [[nodiscard]] const std::vector<NoticeRecord>& notices() const { return notices_; }
+    [[nodiscard]] const std::vector<SendRecord>& sends() const { return sends_; }
+
+    /// Deliveries of `seq`, keyed by receiver node.
+    [[nodiscard]] std::map<NodeId, TimePoint> delivery_times(SeqNum seq) const;
+    /// When `seq` was multicast by the source.
+    [[nodiscard]] std::optional<TimePoint> sent_at(SeqNum seq) const;
+    [[nodiscard]] std::size_t notice_count(NoticeKind kind) const;
+
+    void clear_records();
+
+private:
+    void wire_source();
+    void wire_site(const DisTopology::Site& site, std::size_t site_index);
+
+    ScenarioConfig config_;
+    Simulator simulator_;
+    Network network_;
+    DisTopology topology_;
+
+    void wire_region(const DisTopology::Region& region, std::size_t region_index);
+
+    SenderCore* sender_core_ = nullptr;
+    LoggerCore* primary_core_ = nullptr;
+    std::vector<LoggerCore*> secondary_cores_;
+    std::vector<LoggerCore*> regional_cores_;
+    std::map<NodeId, ReceiverCore*> receiver_cores_;
+    std::vector<SimHost*> hosts_;
+
+    std::vector<DeliveryRecord> deliveries_;
+    std::vector<NoticeRecord> notices_;
+    std::vector<SendRecord> sends_;
+};
+
+}  // namespace lbrm::sim

@@ -1,0 +1,48 @@
+#include "sim/sim_host.hpp"
+
+#include "sim/network.hpp"
+
+namespace lbrm::sim {
+
+SimHost::SimHost(Network& network, Simulator& simulator, NodeId self)
+    : network_(network), simulator_(simulator), self_(self),
+      protocol_(std::make_unique<ProtocolHost>(*this, *this)) {}
+
+void SimHost::deliver(TimePoint now, const Packet& packet) {
+    protocol_->on_packet(now, packet);
+}
+
+void SimHost::send_unicast(NodeId to, const Packet& packet) {
+    network_.unicast(self_, to, packet);
+}
+
+void SimHost::send_multicast(const Packet& packet, McastScope scope) {
+    network_.multicast(self_, packet, scope);
+}
+
+void SimHost::join_group(GroupId group) { network_.join(group, self_); }
+
+void SimHost::leave_group(GroupId group) { network_.leave(group, self_); }
+
+void SimHost::arm(std::uint32_t core_tag, TimerId id, TimePoint deadline) {
+    const TimerKey key{core_tag, id};
+    if (auto it = timers_.find(key); it != timers_.end()) {
+        simulator_.cancel(it->second);
+        timers_.erase(it);
+    }
+    const std::uint64_t event = simulator_.schedule_at(deadline, [this, key] {
+        timers_.erase(key);
+        protocol_->on_timer(simulator_.now(), key.tag, key.id);
+    });
+    timers_.emplace(key, event);
+}
+
+void SimHost::cancel(std::uint32_t core_tag, TimerId id) {
+    const TimerKey key{core_tag, id};
+    if (auto it = timers_.find(key); it != timers_.end()) {
+        simulator_.cancel(it->second);
+        timers_.erase(it);
+    }
+}
+
+}  // namespace lbrm::sim

@@ -1,0 +1,60 @@
+// SimHost: one protocol endpoint living inside the simulated network.
+//
+// Implements the driver services (NetworkService via Network transport,
+// TimerService via the Simulator's event queue with generation-counted
+// re-arm/cancel) and owns the ProtocolHost carrying the actual cores.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "runtime/protocol_host.hpp"
+#include "runtime/services.hpp"
+#include "sim/simulator.hpp"
+
+namespace lbrm::sim {
+
+class Network;
+
+class SimHost final : public NetworkService, public TimerService {
+public:
+    SimHost(Network& network, Simulator& simulator, NodeId self);
+
+    SimHost(const SimHost&) = delete;
+    SimHost& operator=(const SimHost&) = delete;
+
+    [[nodiscard]] NodeId id() const { return self_; }
+    [[nodiscard]] ProtocolHost& protocol() { return *protocol_; }
+
+    /// Network -> host delivery (called by Network at arrival time).
+    void deliver(TimePoint now, const Packet& packet);
+
+    // NetworkService
+    void send_unicast(NodeId to, const Packet& packet) override;
+    void send_multicast(const Packet& packet, McastScope scope) override;
+    void join_group(GroupId group) override;
+    void leave_group(GroupId group) override;
+
+    // TimerService
+    void arm(std::uint32_t core_tag, TimerId id, TimePoint deadline) override;
+    void cancel(std::uint32_t core_tag, TimerId id) override;
+
+private:
+    struct TimerKey {
+        std::uint32_t tag;
+        TimerId id;
+        friend bool operator<(const TimerKey& a, const TimerKey& b) {
+            if (a.tag != b.tag) return a.tag < b.tag;
+            return a.id < b.id;
+        }
+    };
+
+    Network& network_;
+    Simulator& simulator_;
+    NodeId self_;
+    std::unique_ptr<ProtocolHost> protocol_;
+    /// Armed timers -> event-queue id (for cancellation/re-arm).
+    std::map<TimerKey, std::uint64_t> timers_;
+};
+
+}  // namespace lbrm::sim

@@ -1,0 +1,63 @@
+// The simulation executive: a virtual clock over an EventQueue.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/time.hpp"
+#include "sim/event_queue.hpp"
+
+namespace lbrm::sim {
+
+class Simulator {
+public:
+    [[nodiscard]] TimePoint now() const { return now_; }
+
+    std::uint64_t schedule_at(TimePoint at, EventQueue::Callback fn) {
+        if (at < now_) at = now_;  // clamp: never schedule into the past
+        return queue_.schedule(at, std::move(fn));
+    }
+
+    std::uint64_t schedule_in(Duration delay, EventQueue::Callback fn) {
+        return schedule_at(now_ + delay, std::move(fn));
+    }
+
+    void cancel(std::uint64_t id) { queue_.cancel(id); }
+
+    /// Run one event; returns false when the queue is empty.
+    bool step() {
+        if (queue_.empty()) return false;
+        auto [at, fn] = queue_.pop();
+        now_ = at;
+        ++events_;
+        fn();
+        return true;
+    }
+
+    /// Run every event with timestamp <= deadline; the clock ends at
+    /// `deadline` even if the queue drains early.
+    void run_until(TimePoint deadline) {
+        while (!queue_.empty() && queue_.next_time() <= deadline) step();
+        if (now_ < deadline) now_ = deadline;
+    }
+
+    void run_for(Duration d) { run_until(now_ + d); }
+
+    /// Drain the queue completely (tests with naturally finite event sets).
+    void run_to_completion(std::uint64_t max_events = 50'000'000) {
+        while (step()) {
+            if (events_ > max_events)
+                throw std::runtime_error("Simulator: event budget exhausted (livelock?)");
+        }
+    }
+
+    [[nodiscard]] std::uint64_t events_processed() const { return events_; }
+    [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+private:
+    EventQueue queue_;
+    TimePoint now_ = time_zero();
+    std::uint64_t events_ = 0;
+};
+
+}  // namespace lbrm::sim

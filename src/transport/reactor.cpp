@@ -1,0 +1,105 @@
+#include "transport/reactor.hpp"
+
+#include <sys/epoll.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+#include <vector>
+
+namespace lbrm::transport {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+    throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+Reactor::Reactor() : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)) {
+    if (!epoll_fd_.valid()) throw_errno("epoll_create1");
+}
+
+Reactor::~Reactor() = default;
+
+TimePoint Reactor::now() const {
+    timespec ts{};
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return TimePoint{Duration{static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 +
+                              ts.tv_nsec}};
+}
+
+void Reactor::add_fd(int fd, std::function<void()> on_readable) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0)
+        throw_errno("epoll_ctl(ADD)");
+    fd_handlers_[fd] = std::move(on_readable);
+}
+
+void Reactor::remove_fd(int fd) {
+    if (fd_handlers_.erase(fd) == 0) return;
+    ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+}
+
+std::uint64_t Reactor::arm_timer(TimePoint deadline, std::function<void()> fn) {
+    const std::uint64_t token = next_token_++;
+    timer_heap_.push(TimerEntry{deadline, token});
+    timer_callbacks_[token] = std::move(fn);
+    return token;
+}
+
+void Reactor::cancel_timer(std::uint64_t token) { timer_callbacks_.erase(token); }
+
+void Reactor::fire_due_timers() {
+    const TimePoint current = now();
+    while (!timer_heap_.empty() && timer_heap_.top().deadline <= current) {
+        const std::uint64_t token = timer_heap_.top().token;
+        timer_heap_.pop();
+        auto it = timer_callbacks_.find(token);
+        if (it == timer_callbacks_.end()) continue;  // cancelled
+        auto fn = std::move(it->second);
+        timer_callbacks_.erase(it);
+        fn();
+    }
+}
+
+int Reactor::next_timeout_ms(Duration max_wait) {
+    // Skim cancelled timers off the top so they don't shorten the wait.
+    while (!timer_heap_.empty() && !timer_callbacks_.contains(timer_heap_.top().token))
+        timer_heap_.pop();
+
+    Duration wait = max_wait;
+    if (!timer_heap_.empty()) {
+        const Duration until = timer_heap_.top().deadline - now();
+        if (until < wait) wait = until;
+    }
+    if (wait < Duration::zero()) return 0;
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(wait).count();
+    return static_cast<int>(ms > 60'000 ? 60'000 : ms);
+}
+
+bool Reactor::run_once(Duration max_wait) {
+    if (stopped_) return false;
+
+    epoll_event events[64];
+    const int n = ::epoll_wait(epoll_fd_.get(), events, 64, next_timeout_ms(max_wait));
+    if (n < 0 && errno != EINTR) throw_errno("epoll_wait");
+
+    fire_due_timers();
+    for (int i = 0; i < n; ++i) {
+        auto it = fd_handlers_.find(events[i].data.fd);
+        if (it != fd_handlers_.end()) it->second();
+    }
+    return !stopped_;
+}
+
+void Reactor::run() {
+    while (run_once(secs(1.0))) {
+    }
+}
+
+}  // namespace lbrm::transport

@@ -1,0 +1,69 @@
+// Single-threaded epoll reactor with a timer heap.
+//
+// Drives the real-socket LBRM endpoints: readable file descriptors invoke
+// callbacks, timers fire in deadline order, and time is CLOCK_MONOTONIC
+// mapped onto the same TimePoint type the cores use everywhere else.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/time.hpp"
+#include "transport/udp_socket.hpp"
+
+namespace lbrm::transport {
+
+class Reactor {
+public:
+    Reactor();
+    ~Reactor();
+
+    Reactor(const Reactor&) = delete;
+    Reactor& operator=(const Reactor&) = delete;
+
+    /// Current CLOCK_MONOTONIC time as a protocol TimePoint.
+    [[nodiscard]] TimePoint now() const;
+
+    /// Watch `fd` for readability; `on_readable` runs until remove_fd.
+    void add_fd(int fd, std::function<void()> on_readable);
+    void remove_fd(int fd);
+
+    /// One-shot timer; returns a token for cancel_timer.
+    std::uint64_t arm_timer(TimePoint deadline, std::function<void()> fn);
+    void cancel_timer(std::uint64_t token);
+
+    /// Process events until stop() is called.
+    void run();
+    /// Process at most one epoll wakeup (bounded by `max_wait`); runs any
+    /// due timers.  Returns false if stopped.
+    bool run_once(Duration max_wait);
+    void stop() { stopped_ = true; }
+    [[nodiscard]] bool stopped() const { return stopped_; }
+
+private:
+    struct TimerEntry {
+        TimePoint deadline;
+        std::uint64_t token;
+    };
+    struct TimerLater {
+        bool operator()(const TimerEntry& a, const TimerEntry& b) const {
+            if (a.deadline != b.deadline) return a.deadline > b.deadline;
+            return a.token > b.token;
+        }
+    };
+
+    void fire_due_timers();
+    [[nodiscard]] int next_timeout_ms(Duration max_wait);
+
+    FileDescriptor epoll_fd_;
+    std::unordered_map<int, std::function<void()>> fd_handlers_;
+    std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerLater> timer_heap_;
+    std::unordered_map<std::uint64_t, std::function<void()>> timer_callbacks_;
+    std::uint64_t next_token_ = 1;
+    bool stopped_ = false;
+};
+
+}  // namespace lbrm::transport

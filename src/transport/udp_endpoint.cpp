@@ -1,0 +1,109 @@
+#include "transport/udp_endpoint.hpp"
+
+#include <array>
+
+namespace lbrm::transport {
+
+UdpEndpoint::UdpEndpoint(Reactor& reactor, UdpEndpointConfig config)
+    : reactor_(reactor), config_(std::move(config)),
+      unicast_(UdpSocket::bind(config_.bind_addr)),
+      protocol_(std::make_unique<ProtocolHost>(*this, *this)) {
+    reactor_.add_fd(unicast_.fd(), [this] { on_readable(unicast_); });
+
+    if (config_.multicast_addr.ip != 0) {
+        // Dedicated receive socket bound to the group port; senders address
+        // the group directly from the unicast socket.
+        multicast_ = std::make_unique<UdpSocket>(
+            UdpSocket::bind(SockAddr{0, config_.multicast_addr.port}));
+        multicast_->join_multicast(config_.multicast_addr);
+        reactor_.add_fd(multicast_->fd(), [this] { on_readable(*multicast_); });
+    }
+}
+
+UdpEndpoint::~UdpEndpoint() {
+    reactor_.remove_fd(unicast_.fd());
+    if (multicast_) reactor_.remove_fd(multicast_->fd());
+    for (const auto& [group, socket] : joined_) reactor_.remove_fd(socket->fd());
+    for (const auto& [key, token] : timers_) reactor_.cancel_timer(token);
+}
+
+void UdpEndpoint::join_group(GroupId group) {
+    if (joined_.contains(group)) return;
+    auto it = config_.group_addrs.find(group);
+    if (it == config_.group_addrs.end()) return;  // fan-out mode: no-op
+    auto socket =
+        std::make_unique<UdpSocket>(UdpSocket::bind(SockAddr{0, it->second.port}));
+    socket->join_multicast(it->second);
+    UdpSocket* raw = socket.get();
+    reactor_.add_fd(socket->fd(), [this, raw] { on_readable(*raw); });
+    joined_.emplace(group, std::move(socket));
+}
+
+void UdpEndpoint::leave_group(GroupId group) {
+    auto it = joined_.find(group);
+    if (it == joined_.end()) return;
+    reactor_.remove_fd(it->second->fd());
+    joined_.erase(it);
+}
+
+void UdpEndpoint::on_readable(UdpSocket& socket) {
+    std::array<std::uint8_t, 65536> buffer;
+    while (auto datagram = socket.recv_into(buffer)) {
+        ++datagrams_received_;
+        protocol_->on_datagram(reactor_.now(),
+                               std::span<const std::uint8_t>(buffer.data(), datagram->size));
+    }
+}
+
+void UdpEndpoint::send_unicast(NodeId to, const Packet& packet) {
+    auto it = config_.peers.find(to);
+    if (it == config_.peers.end()) return;  // unknown peer: drop (like a bad route)
+    const auto bytes = encode(packet);
+    if (unicast_.send_to(it->second, bytes)) ++datagrams_sent_;
+}
+
+void UdpEndpoint::send_multicast(const Packet& packet, McastScope scope) {
+    const auto bytes = encode(packet);
+    // Per-group address (retransmission channel) takes precedence over the
+    // endpoint's main group address.
+    SockAddr dest = config_.multicast_addr;
+    if (auto it = config_.group_addrs.find(packet.header.group);
+        it != config_.group_addrs.end())
+        dest = it->second;
+    if (dest.ip != 0) {
+        const int ttl = scope == McastScope::kSite     ? config_.ttl_site
+                        : scope == McastScope::kRegion ? config_.ttl_region
+                                                       : config_.ttl_global;
+        unicast_.set_multicast_ttl(ttl);
+        if (unicast_.send_to(dest, bytes)) ++datagrams_sent_;
+        return;
+    }
+    // Fan-out fallback: one unicast per known peer.
+    for (const auto& [node, addr] : config_.peers) {
+        if (node == config_.self) continue;
+        if (unicast_.send_to(addr, bytes)) ++datagrams_sent_;
+    }
+}
+
+void UdpEndpoint::arm(std::uint32_t core_tag, TimerId id, TimePoint deadline) {
+    const TimerKey key{core_tag, id};
+    if (auto it = timers_.find(key); it != timers_.end()) {
+        reactor_.cancel_timer(it->second);
+        timers_.erase(it);
+    }
+    const std::uint64_t token = reactor_.arm_timer(deadline, [this, key] {
+        timers_.erase(key);
+        protocol_->on_timer(reactor_.now(), key.tag, key.id);
+    });
+    timers_.emplace(key, token);
+}
+
+void UdpEndpoint::cancel(std::uint32_t core_tag, TimerId id) {
+    const TimerKey key{core_tag, id};
+    if (auto it = timers_.find(key); it != timers_.end()) {
+        reactor_.cancel_timer(it->second);
+        timers_.erase(it);
+    }
+}
+
+}  // namespace lbrm::transport

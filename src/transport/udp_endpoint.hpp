@@ -1,0 +1,97 @@
+// UdpEndpoint: runs a ProtocolHost over real UDP sockets.
+//
+// Each endpoint owns a unicast socket (its stable address) and, when a
+// multicast group address is configured, a second socket joined to that
+// group.  LBRM scopes map to IP multicast TTLs exactly as in the paper's
+// scoped-discovery scheme.  Deployments without working IP multicast (some
+// containers) set no group address and the endpoint transparently falls
+// back to unicast fan-out over the peer directory -- same protocol, just a
+// star topology.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "runtime/protocol_host.hpp"
+#include "runtime/services.hpp"
+#include "transport/reactor.hpp"
+#include "transport/udp_socket.hpp"
+
+namespace lbrm::transport {
+
+struct UdpEndpointConfig {
+    NodeId self;
+    /// Unicast bind address (port 0 picks an ephemeral port).
+    SockAddr bind_addr = SockAddr::loopback(0);
+    /// Multicast group address; ip == 0 disables IP multicast and fans
+    /// multicasts out over the peer directory instead.
+    SockAddr multicast_addr{};
+    /// NodeId -> unicast address directory.
+    std::map<NodeId, SockAddr> peers;
+    /// Extra multicast groups joinable at runtime (Section 7 retransmission
+    /// channel): GroupId -> group address.
+    std::map<GroupId, SockAddr> group_addrs;
+    /// TTLs for the three LBRM scopes.
+    int ttl_site = 1;
+    int ttl_region = 16;
+    int ttl_global = 64;
+};
+
+class UdpEndpoint final : public NetworkService, public TimerService {
+public:
+    UdpEndpoint(Reactor& reactor, UdpEndpointConfig config);
+    ~UdpEndpoint() override;
+
+    UdpEndpoint(const UdpEndpoint&) = delete;
+    UdpEndpoint& operator=(const UdpEndpoint&) = delete;
+
+    [[nodiscard]] ProtocolHost& protocol() { return *protocol_; }
+    [[nodiscard]] NodeId id() const { return config_.self; }
+    /// The resolved unicast address (after ephemeral-port binding).
+    [[nodiscard]] SockAddr unicast_addr() const { return unicast_.local_addr(); }
+
+    /// Late peer registration (e.g. after another endpoint binds).
+    void add_peer(NodeId node, SockAddr addr) { config_.peers[node] = addr; }
+
+    // NetworkService
+    void send_unicast(NodeId to, const Packet& packet) override;
+    void send_multicast(const Packet& packet, McastScope scope) override;
+    /// Joins/leaves the IP multicast group registered for `group` in
+    /// `UdpEndpointConfig::group_addrs`.  In unicast fan-out mode every
+    /// endpoint already receives everything, so these are no-ops.
+    void join_group(GroupId group) override;
+    void leave_group(GroupId group) override;
+
+    // TimerService
+    void arm(std::uint32_t core_tag, TimerId id, TimePoint deadline) override;
+    void cancel(std::uint32_t core_tag, TimerId id) override;
+
+    [[nodiscard]] std::uint64_t datagrams_received() const { return datagrams_received_; }
+    [[nodiscard]] std::uint64_t datagrams_sent() const { return datagrams_sent_; }
+
+private:
+    struct TimerKey {
+        std::uint32_t tag;
+        TimerId id;
+        friend bool operator<(const TimerKey& a, const TimerKey& b) {
+            if (a.tag != b.tag) return a.tag < b.tag;
+            return a.id < b.id;
+        }
+    };
+
+    void on_readable(UdpSocket& socket);
+
+    Reactor& reactor_;
+    UdpEndpointConfig config_;
+    UdpSocket unicast_;
+    std::unique_ptr<UdpSocket> multicast_;  // null when fan-out mode
+    /// Dynamically joined groups (retransmission channel), keyed by group.
+    std::map<GroupId, std::unique_ptr<UdpSocket>> joined_;
+    std::unique_ptr<ProtocolHost> protocol_;
+    std::map<TimerKey, std::uint64_t> timers_;
+    std::uint64_t datagrams_received_ = 0;
+    std::uint64_t datagrams_sent_ = 0;
+};
+
+}  // namespace lbrm::transport

@@ -1,0 +1,132 @@
+#include "transport/udp_socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace lbrm::transport {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+    throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in to_sockaddr(SockAddr addr) {
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = htonl(addr.ip);
+    sa.sin_port = htons(addr.port);
+    return sa;
+}
+
+SockAddr from_sockaddr(const sockaddr_in& sa) {
+    return SockAddr{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+}  // namespace
+
+std::string SockAddr::to_string() const {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (ip >> 24) & 0xFF, (ip >> 16) & 0xFF,
+                  (ip >> 8) & 0xFF, ip & 0xFF, port);
+    return buf;
+}
+
+SockAddr SockAddr::parse(const std::string& text) {
+    const auto colon = text.rfind(':');
+    if (colon == std::string::npos)
+        throw std::invalid_argument("SockAddr::parse: missing ':' in " + text);
+    in_addr addr{};
+    const std::string host = text.substr(0, colon);
+    if (inet_pton(AF_INET, host.c_str(), &addr) != 1)
+        throw std::invalid_argument("SockAddr::parse: bad address " + host);
+    const long port = std::stol(text.substr(colon + 1));
+    if (port < 0 || port > 65535)
+        throw std::invalid_argument("SockAddr::parse: bad port in " + text);
+    return SockAddr{ntohl(addr.s_addr), static_cast<std::uint16_t>(port)};
+}
+
+FileDescriptor::~FileDescriptor() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+FileDescriptor& FileDescriptor::operator=(FileDescriptor&& other) noexcept {
+    if (this != &other) {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = other.release();
+    }
+    return *this;
+}
+
+UdpSocket UdpSocket::bind(SockAddr addr) {
+    FileDescriptor fd{::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0)};
+    if (!fd.valid()) throw_errno("socket");
+
+    const int one = 1;
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0)
+        throw_errno("setsockopt(SO_REUSEADDR)");
+
+    sockaddr_in sa = to_sockaddr(addr);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0)
+        throw_errno("bind");
+
+    return UdpSocket{std::move(fd)};
+}
+
+void UdpSocket::join_multicast(SockAddr group) {
+    ip_mreq mreq{};
+    mreq.imr_multiaddr.s_addr = htonl(group.ip);
+    mreq.imr_interface.s_addr = htonl(INADDR_ANY);
+    if (::setsockopt(fd_.get(), IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq, sizeof(mreq)) < 0)
+        throw_errno("setsockopt(IP_ADD_MEMBERSHIP)");
+
+    const int loop = 1;
+    if (::setsockopt(fd_.get(), IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof(loop)) < 0)
+        throw_errno("setsockopt(IP_MULTICAST_LOOP)");
+}
+
+void UdpSocket::set_multicast_ttl(int ttl) {
+    if (::setsockopt(fd_.get(), IPPROTO_IP, IP_MULTICAST_TTL, &ttl, sizeof(ttl)) < 0)
+        throw_errno("setsockopt(IP_MULTICAST_TTL)");
+}
+
+bool UdpSocket::send_to(SockAddr dest, std::span<const std::uint8_t> payload) {
+    sockaddr_in sa = to_sockaddr(dest);
+    const ssize_t n = ::sendto(fd_.get(), payload.data(), payload.size(), 0,
+                               reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+    if (n >= 0) return true;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS || errno == ECONNREFUSED)
+        return false;
+    throw_errno("sendto");
+}
+
+std::optional<UdpSocket::Datagram> UdpSocket::recv_into(std::span<std::uint8_t> buffer) {
+    sockaddr_in sa{};
+    socklen_t len = sizeof(sa);
+    const ssize_t n = ::recvfrom(fd_.get(), buffer.data(), buffer.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&sa), &len);
+    if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNREFUSED)
+            return std::nullopt;
+        throw_errno("recvfrom");
+    }
+    return Datagram{from_sockaddr(sa), static_cast<std::size_t>(n)};
+}
+
+SockAddr UdpSocket::local_addr() const {
+    sockaddr_in sa{};
+    socklen_t len = sizeof(sa);
+    if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&sa), &len) < 0)
+        throw_errno("getsockname");
+    return from_sockaddr(sa);
+}
+
+}  // namespace lbrm::transport

@@ -1,0 +1,88 @@
+// RAII UDP sockets (IPv4) with the multicast options LBRM needs.
+//
+// Errors at setup time throw std::system_error (a socket that cannot be
+// created/bound is a configuration bug); per-datagram send/recv errors are
+// returned as status because they are routine under load.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace lbrm::transport {
+
+/// An IPv4 address + port in host byte order.
+struct SockAddr {
+    std::uint32_t ip = 0;  ///< e.g. 0x7F000001 for 127.0.0.1
+    std::uint16_t port = 0;
+
+    friend bool operator==(SockAddr, SockAddr) = default;
+    friend auto operator<=>(SockAddr, SockAddr) = default;
+
+    [[nodiscard]] bool is_multicast() const { return (ip >> 28) == 0xE; }
+    [[nodiscard]] std::string to_string() const;
+
+    /// Parse "a.b.c.d:port"; throws std::invalid_argument on bad input.
+    static SockAddr parse(const std::string& text);
+    static SockAddr loopback(std::uint16_t port) { return {0x7F000001u, port}; }
+};
+
+/// Owns a file descriptor; closes on destruction.
+class FileDescriptor {
+public:
+    FileDescriptor() = default;
+    explicit FileDescriptor(int fd) : fd_(fd) {}
+    ~FileDescriptor();
+
+    FileDescriptor(FileDescriptor&& other) noexcept : fd_(other.release()) {}
+    FileDescriptor& operator=(FileDescriptor&& other) noexcept;
+    FileDescriptor(const FileDescriptor&) = delete;
+    FileDescriptor& operator=(const FileDescriptor&) = delete;
+
+    [[nodiscard]] int get() const { return fd_; }
+    [[nodiscard]] bool valid() const { return fd_ >= 0; }
+    int release() {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+private:
+    int fd_ = -1;
+};
+
+class UdpSocket {
+public:
+    /// Create a non-blocking UDP socket bound to `addr` (port 0 = ephemeral).
+    /// SO_REUSEADDR is set so several multicast listeners share a port.
+    static UdpSocket bind(SockAddr addr);
+
+    /// Join an IPv4 multicast group on the loopback/default interface, with
+    /// IP_MULTICAST_LOOP enabled so same-host listeners hear each other.
+    void join_multicast(SockAddr group);
+
+    /// Multicast TTL for outgoing datagrams (maps LBRM scopes to rings).
+    void set_multicast_ttl(int ttl);
+
+    /// Returns true on success, false on transient failure (EAGAIN, full
+    /// buffers, ...); throws only on programming errors (EBADF...).
+    bool send_to(SockAddr dest, std::span<const std::uint8_t> payload);
+
+    /// Non-blocking receive; std::nullopt when no datagram is ready.
+    struct Datagram {
+        SockAddr from;
+        std::size_t size = 0;
+    };
+    std::optional<Datagram> recv_into(std::span<std::uint8_t> buffer);
+
+    [[nodiscard]] int fd() const { return fd_.get(); }
+    /// The locally bound address (resolves ephemeral ports).
+    [[nodiscard]] SockAddr local_addr() const;
+
+private:
+    explicit UdpSocket(FileDescriptor fd) : fd_(std::move(fd)) {}
+    FileDescriptor fd_;
+};
+
+}  // namespace lbrm::transport

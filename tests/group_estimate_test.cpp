@@ -1,0 +1,135 @@
+// Group-size estimator tests (Section 2.3.3): probe escalation, repeat
+// averaging, continuous EWMA refresh, and the Table 2 accuracy property
+// (repeated probes shrink the estimate's standard deviation by 1/sqrt(n)).
+#include <gtest/gtest.h>
+
+#include "analysis/estimator_math.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/group_estimate.hpp"
+
+namespace lbrm {
+namespace {
+
+StatAckConfig config_with(double initial_p, std::uint32_t repeats,
+                          std::uint32_t target = 10) {
+    StatAckConfig c;
+    c.initial_probe_p = initial_p;
+    c.probe_repeats = repeats;
+    c.probe_target_replies = target;
+    c.alpha = 0.125;
+    return c;
+}
+
+/// Simulate one probe round: N loggers reply independently with prob p.
+std::uint32_t probe_replies(Rng& rng, std::uint32_t n, double p) {
+    std::uint32_t replies = 0;
+    for (std::uint32_t i = 0; i < n; ++i)
+        if (rng.bernoulli(p)) ++replies;
+    return replies;
+}
+
+TEST(GroupEstimate, EscalatesUntilEnoughReplies) {
+    GroupSizeEstimator est{config_with(0.01, 1, 10)};
+    Rng rng{7};
+    const std::uint32_t n = 1000;
+
+    std::uint32_t rounds = 0;
+    double last_p = 0.0;
+    while (est.probing() && rounds < 20) {
+        const auto spec = est.current_round();
+        EXPECT_GT(spec.p, last_p * 0.99);  // p never decreases
+        last_p = spec.p;
+        const std::uint32_t replies = probe_replies(rng, n, spec.p);
+        for (std::uint32_t i = 0; i < replies; ++i) est.on_probe_reply(spec.round);
+        est.finish_round();
+        ++rounds;
+    }
+    ASSERT_FALSE(est.probing());
+    ASSERT_TRUE(est.estimate().has_value());
+    EXPECT_NEAR(*est.estimate(), 1000.0, 350.0);  // within a few sigma
+}
+
+TEST(GroupEstimate, StaleRepliesIgnored) {
+    GroupSizeEstimator est{config_with(0.5, 1, 1)};
+    const auto spec = est.current_round();
+    est.on_probe_reply(spec.round + 5);  // wrong round: must not count
+    est.finish_round();                  // 0 replies -> escalate p to 1.0
+    EXPECT_TRUE(est.probing());
+    est.finish_round();  // p == 1.0 round with 0 replies -> converges
+    ASSERT_TRUE(est.estimate().has_value());
+    EXPECT_DOUBLE_EQ(*est.estimate(), 1.0);  // clamped floor
+}
+
+TEST(GroupEstimate, SetEstimateSkipsProbing) {
+    GroupSizeEstimator est{config_with(0.05, 3)};
+    est.set_estimate(500.0);
+    EXPECT_FALSE(est.probing());
+    EXPECT_DOUBLE_EQ(*est.estimate(), 500.0);
+}
+
+TEST(GroupEstimate, ContinuousRefreshTracksGrowth) {
+    GroupSizeEstimator est{config_with(0.05, 1)};
+    est.set_estimate(100.0);
+    // The group doubles: k' samples now suggest 200 loggers at p = 0.1.
+    for (int i = 0; i < 200; ++i) est.update_continuous(20, 0.1);
+    EXPECT_NEAR(*est.estimate(), 200.0, 5.0);
+}
+
+TEST(GroupEstimate, ContinuousRefreshIgnoresZeroProbability) {
+    GroupSizeEstimator est{config_with(0.05, 1)};
+    est.set_estimate(100.0);
+    est.update_continuous(50, 0.0);
+    EXPECT_DOUBLE_EQ(*est.estimate(), 100.0);
+}
+
+TEST(GroupEstimate, NoEstimateBeforeFirstInformativeRound) {
+    GroupSizeEstimator est{config_with(0.05, 3)};
+    EXPECT_FALSE(est.estimate().has_value());
+}
+
+// --- Table 2: repeated probes reduce sigma by 1/sqrt(n) ---------------------
+
+class ProbeAccuracy : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ProbeAccuracy, RepeatedProbesShrinkStdDev) {
+    const std::uint32_t probes = GetParam();
+    const std::uint32_t n = 1000;
+    const double p = 0.05;
+    Rng rng{1234 + probes};
+
+    // Monte Carlo: estimate N with `probes` averaged probes, many trials.
+    RunningStats stats;
+    for (int trial = 0; trial < 4000; ++trial) {
+        double sum = 0.0;
+        for (std::uint32_t j = 0; j < probes; ++j)
+            sum += static_cast<double>(probe_replies(rng, n, p)) / p;
+        stats.add(sum / probes);
+    }
+
+    const double expected_sigma = analysis::repeated_probe_stddev(n, p, probes);
+    EXPECT_NEAR(stats.mean(), 1000.0, 10.0);
+    EXPECT_NEAR(stats.sample_stddev(), expected_sigma, expected_sigma * 0.1)
+        << "probes = " << probes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, ProbeAccuracy, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(EstimatorMath, Table2ReductionColumn) {
+    EXPECT_DOUBLE_EQ(analysis::stddev_reduction_factor(1), 1.0);
+    EXPECT_NEAR(analysis::stddev_reduction_factor(2), 0.707, 0.001);
+    EXPECT_NEAR(analysis::stddev_reduction_factor(3), 0.577, 0.001);
+    EXPECT_NEAR(analysis::stddev_reduction_factor(4), 0.500, 0.001);
+    EXPECT_NEAR(analysis::stddev_reduction_factor(5), 0.447, 0.001);
+}
+
+TEST(EstimatorMath, SigmaFormula) {
+    // sigma_1 = sqrt(N (1-p) / p)
+    EXPECT_NEAR(analysis::single_probe_stddev(1000, 0.05), std::sqrt(1000 * 0.95 / 0.05),
+                1e-9);
+    EXPECT_THROW((void)analysis::single_probe_stddev(1000, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)analysis::repeated_probe_stddev(1000, 0.5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lbrm

@@ -1,0 +1,134 @@
+// Appendix-A protocol tests: exact wire grammar round-trips (including the
+// paper's own example lines), malformed-input rejection, page-binding
+// parsing, and the browser-cache model.
+#include <gtest/gtest.h>
+
+#include "apps/html_invalidation.hpp"
+
+namespace lbrm::apps {
+namespace {
+
+TEST(HtmlInvalidation, RendersThePapersExampleLines) {
+    // Both example messages appear verbatim in Appendix A.
+    EXPECT_EQ(render_update(SeqNum{17}, "http://www-DSG.Stanford.EDU/groupMembers.html"),
+              "TRANS:17.0:UPDATE:http://www-DSG.Stanford.EDU/groupMembers.html");
+    EXPECT_EQ(render_heartbeat(SeqNum{17}, 12), "TRANS:17.12:HEARTBEAT");
+}
+
+TEST(HtmlInvalidation, ParsesUpdate) {
+    const auto m = parse_message("TRANS:17.0:UPDATE:http://x/y.html");
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->kind, InvalidationMessage::Kind::kUpdate);
+    EXPECT_FALSE(m->retransmission);
+    EXPECT_EQ(m->seq, SeqNum{17});
+    EXPECT_EQ(m->heartbeat_index, 0u);
+    EXPECT_EQ(m->url, "http://x/y.html");
+}
+
+TEST(HtmlInvalidation, ParsesHeartbeat) {
+    const auto m = parse_message("TRANS:17.12:HEARTBEAT");
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->kind, InvalidationMessage::Kind::kHeartbeat);
+    EXPECT_EQ(m->seq, SeqNum{17});
+    EXPECT_EQ(m->heartbeat_index, 12u);
+    EXPECT_TRUE(m->url.empty());
+}
+
+TEST(HtmlInvalidation, ParsesRetransmission) {
+    // "A retransmission of update 17 would contain the tag RETRANS".
+    const auto m = parse_message("RETRANS:17.0:UPDATE:http://x/y.html");
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(m->retransmission);
+    EXPECT_EQ(m->seq, SeqNum{17});
+}
+
+TEST(HtmlInvalidation, RoundTripsThroughRender) {
+    for (const std::string& text :
+         {render_update(SeqNum{1}, "http://a/b"), render_heartbeat(SeqNum{9}, 3),
+          render_update(SeqNum{0xFFFFFFFFu}, "u", true)}) {
+        const auto m = parse_message(text);
+        ASSERT_TRUE(m.has_value()) << text;
+    }
+}
+
+TEST(HtmlInvalidation, RejectsMalformedMessages) {
+    for (const char* bad :
+         {"", "TRANS", "TRANS:", "TRANS:x.0:UPDATE:u", "TRANS:1:UPDATE:u",
+          "TRANS:1.0:", "TRANS:1.0:UPDATE:", "TRANS:1.y:HEARTBEAT",
+          "XRANS:1.0:UPDATE:u", "TRANS:1.0:INVALIDATE:u", "RETRANS:1.0:HB"}) {
+        EXPECT_FALSE(parse_message(bad).has_value()) << "accepted: " << bad;
+    }
+}
+
+TEST(HtmlInvalidation, PageBindingParsesThePapersComment) {
+    // "<!MULTICAST.234.12.29.72.> associates the file with multicast
+    // address 234.12.29.72."
+    const auto address = parse_page_binding("<!MULTICAST.234.12.29.72.>");
+    ASSERT_TRUE(address.has_value());
+    EXPECT_EQ(*address, "234.12.29.72");
+}
+
+TEST(HtmlInvalidation, PageBindingRoundTrip) {
+    EXPECT_EQ(parse_page_binding(render_page_binding("239.1.2.3")), "239.1.2.3");
+}
+
+TEST(HtmlInvalidation, PageBindingRejectsGarbage) {
+    for (const char* bad :
+         {"", "<html>", "<!MULTICAST.>", "<!MULTICAST.1.2.3.>",
+          "<!MULTICAST.1.2.3.4.5.>", "<!MULTICAST.999.2.3.4.>",
+          "<!MULTICAST.a.b.c.d.>"}) {
+        EXPECT_FALSE(parse_page_binding(bad).has_value()) << "accepted: " << bad;
+    }
+}
+
+TEST(HtmlInvalidation, BindingFoundAnywhereInTheFirstLine) {
+    EXPECT_TRUE(parse_page_binding("<html><!MULTICAST.234.12.29.72.></html>")
+                    .has_value());
+}
+
+// --- browser cache ------------------------------------------------------------
+
+TEST(BrowserCache, DisplaySubscribeInvalidateReload) {
+    BrowserCache cache;
+    cache.display("http://x/a.html");
+    EXPECT_TRUE(cache.is_cached("http://x/a.html"));
+    EXPECT_FALSE(cache.reload_highlighted("http://x/a.html"));
+
+    const auto update = parse_message("TRANS:1.0:UPDATE:http://x/a.html");
+    EXPECT_TRUE(cache.apply(*update));
+    EXPECT_TRUE(cache.reload_highlighted("http://x/a.html"));
+
+    // A second invalidation while already highlighted changes nothing.
+    EXPECT_FALSE(cache.apply(*update));
+
+    // "The flag is cleared when the document has been reloaded."
+    cache.reload("http://x/a.html");
+    EXPECT_FALSE(cache.reload_highlighted("http://x/a.html"));
+}
+
+TEST(BrowserCache, UnknownPagesIgnored) {
+    BrowserCache cache;
+    cache.display("http://x/a.html");
+    const auto update = parse_message("TRANS:1.0:UPDATE:http://x/OTHER.html");
+    EXPECT_FALSE(cache.apply(*update));
+}
+
+TEST(BrowserCache, HeartbeatsDontHighlight) {
+    BrowserCache cache;
+    cache.display("http://x/a.html");
+    const auto hb = parse_message("TRANS:1.4:HEARTBEAT");
+    EXPECT_FALSE(cache.apply(*hb));
+    EXPECT_FALSE(cache.reload_highlighted("http://x/a.html"));
+}
+
+TEST(BrowserCache, EvictionEndsTheSubscription) {
+    BrowserCache cache;
+    cache.display("http://x/a.html");
+    cache.evict("http://x/a.html");
+    EXPECT_FALSE(cache.is_cached("http://x/a.html"));
+    const auto update = parse_message("TRANS:1.0:UPDATE:http://x/a.html");
+    EXPECT_FALSE(cache.apply(*update));
+}
+
+}  // namespace
+}  // namespace lbrm::apps

@@ -1,0 +1,148 @@
+// Primary-logger failure and recovery (Section 2.2.3), plus expanding-ring
+// logger discovery (Section 2.2.1), end-to-end on the simulated topology.
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace lbrm::sim {
+namespace {
+
+ScenarioConfig failover_config() {
+    ScenarioConfig config;
+    config.topology.sites = 3;
+    config.topology.receivers_per_site = 3;
+    config.topology.replicas = 2;
+    config.stat_ack.enabled = false;
+    return config;
+}
+
+TEST(IntegrationFailover, ReplicaMirrorsTheLog) {
+    DisScenario scenario(failover_config());
+    scenario.start();
+    for (int i = 0; i < 5; ++i) {
+        scenario.send_update(std::size_t{64});
+        scenario.run_for(millis(300));
+    }
+    scenario.run_for(secs(1.0));
+    EXPECT_EQ(scenario.primary_logger().store().size(), 5u);
+    EXPECT_EQ(scenario.primary_logger().contiguous_high_water(), SeqNum{5});
+    // Source buffers were released once replicas acked (Section 2.2.3).
+    EXPECT_EQ(scenario.sender().retained_count(), 0u);
+}
+
+TEST(IntegrationFailover, PrimaryDeathPromotesReplicaAndStreamContinues) {
+    DisScenario scenario(failover_config());
+    auto& network = scenario.network();
+    const auto& topo = scenario.topology();
+    scenario.start();
+    scenario.send_update(std::size_t{64});
+    scenario.run_for(secs(1.0));
+
+    // Kill the primary logger.
+    network.set_node_down(topo.primary, true);
+    scenario.send_update(std::size_t{64});  // seq 2: LogStore will time out
+    scenario.run_for(secs(3.0));
+
+    // The sender promoted the first replica.
+    EXPECT_GE(scenario.notice_count(NoticeKind::kPrimaryFailover), 1u);
+    EXPECT_EQ(scenario.sender().current_primary(), topo.replicas[0]);
+
+    // New data flows and is logged by the new primary.
+    scenario.send_update(std::size_t{64});  // seq 3
+    scenario.run_for(secs(2.0));
+    EXPECT_EQ(scenario.delivery_times(SeqNum{3}).size(), 9u);
+}
+
+TEST(IntegrationFailover, RecoveryWorksThroughPromotedPrimary) {
+    DisScenario scenario(failover_config());
+    auto& network = scenario.network();
+    const auto& topo = scenario.topology();
+    scenario.start();
+    scenario.send_update(std::size_t{64});
+    scenario.run_for(secs(1.0));
+
+    network.set_node_down(topo.primary, true);
+    scenario.send_update(std::size_t{64});  // seq 2
+    scenario.run_for(secs(3.0));            // failover completes
+
+    // Now lose a packet at one site; the secondary must fetch it from the
+    // *new* primary.  Secondaries cache the primary address and fall back
+    // to... the configured upstream is the dead primary, so this exercises
+    // the receiver-side escalation path too.
+    network.set_loss(topo.backbone, topo.sites[0].router,
+                     std::make_unique<BernoulliLoss>(1.0));
+    scenario.send_update(std::size_t{64});  // seq 3
+    scenario.run_for(millis(50));
+    network.set_loss(topo.backbone, topo.sites[0].router,
+                     std::make_unique<BernoulliLoss>(0.0));
+
+    scenario.run_for(secs(10.0));
+    // All receivers eventually hold seq 3 (site-0 receivers via escalated
+    // recovery: local secondary failed upstream -> receiver asks source ->
+    // learns the promoted primary).
+    EXPECT_EQ(scenario.delivery_times(SeqNum{3}).size(), 9u);
+}
+
+TEST(IntegrationFailover, SourceSurvivesTotalReplicaLoss) {
+    // Primary and all replicas die: the source falls back to serving as its
+    // own primary so the stream never stalls.
+    DisScenario scenario(failover_config());
+    auto& network = scenario.network();
+    const auto& topo = scenario.topology();
+    scenario.start();
+    scenario.send_update(std::size_t{64});
+    scenario.run_for(secs(1.0));
+
+    network.set_node_down(topo.primary, true);
+    for (NodeId r : topo.replicas) network.set_node_down(r, true);
+    scenario.send_update(std::size_t{64});
+    scenario.run_for(secs(5.0));
+
+    EXPECT_TRUE(scenario.sender().is_self_primary());
+    scenario.send_update(std::size_t{64});
+    scenario.run_for(secs(2.0));
+    EXPECT_EQ(scenario.delivery_times(SeqNum{3}).size(), 9u);
+}
+
+TEST(IntegrationDiscovery, ReceiversFindTheirSiteLogger) {
+    ScenarioConfig config = failover_config();
+    config.discover_loggers = true;  // no static logger configuration
+    DisScenario scenario(config);
+    scenario.start();
+    scenario.run_for(secs(2.0));
+
+    // Every receiver found a logger (its site's secondary answers the first
+    // site-scoped ring).
+    EXPECT_GE(scenario.notice_count(NoticeKind::kLoggerChanged), 9u);
+    for (const auto& site : scenario.topology().sites) {
+        for (NodeId r : site.receivers) {
+            EXPECT_EQ(scenario.receiver(r).current_logger(), site.secondary)
+                << "receiver " << r;
+        }
+    }
+}
+
+TEST(IntegrationDiscovery, RecoveryWorksWithDiscoveredLoggers) {
+    ScenarioConfig config = failover_config();
+    config.discover_loggers = true;
+    DisScenario scenario(config);
+    auto& network = scenario.network();
+    const auto& topo = scenario.topology();
+    scenario.start();
+    scenario.run_for(secs(2.0));  // discovery settles
+    scenario.send_update(std::size_t{64});
+    scenario.run_for(secs(1.0));
+
+    network.set_loss(topo.backbone, topo.sites[1].router,
+                     std::make_unique<BernoulliLoss>(1.0));
+    scenario.send_update(std::size_t{64});
+    scenario.run_for(millis(50));
+    network.set_loss(topo.backbone, topo.sites[1].router,
+                     std::make_unique<BernoulliLoss>(0.0));
+    scenario.run_for(secs(5.0));
+
+    EXPECT_EQ(scenario.delivery_times(SeqNum{2}).size(), 9u);
+}
+
+}  // namespace
+}  // namespace lbrm::sim

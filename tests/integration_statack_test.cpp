@@ -1,0 +1,146 @@
+// End-to-end statistical acknowledgement on the simulated topology
+// (Section 2.3 / Figure 8): probing, epoch establishment, per-packet ACKs
+// from designated ackers, and the multicast-retransmission decision under
+// widespread loss.
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace lbrm::sim {
+namespace {
+
+ScenarioConfig statack_config(std::uint32_t sites) {
+    ScenarioConfig config;
+    config.topology.sites = sites;
+    config.topology.receivers_per_site = 3;
+    config.stat_ack.enabled = true;
+    config.stat_ack.k = 5;
+    config.stat_ack.initial_probe_p = 0.2;
+    config.stat_ack.probe_repeats = 2;
+    config.stat_ack.probe_target_replies = 3;
+    config.stat_ack.epoch_interval = secs(60);
+    return config;
+}
+
+TEST(IntegrationStatAck, ProbingConvergesToSiteCount) {
+    DisScenario scenario(statack_config(20));
+    scenario.start();
+    scenario.run_for(secs(5.0));
+
+    auto& engine = scenario.sender().stat_ack();
+    EXPECT_FALSE(engine.probing());
+    // 20 secondary loggers participate; the estimate is statistical.
+    EXPECT_NEAR(engine.n_sl(), 20.0, 10.0);
+}
+
+TEST(IntegrationStatAck, EpochEstablishesDesignatedAckers) {
+    DisScenario scenario(statack_config(20));
+    scenario.start();
+    scenario.run_for(secs(5.0));
+
+    EXPECT_GE(scenario.notice_count(NoticeKind::kEpochStarted), 1u);
+    EXPECT_GE(scenario.notice_count(NoticeKind::kDesignatedAcker), 1u);
+    EXPECT_GT(scenario.sender().stat_ack().expected_acks(), 0u);
+}
+
+TEST(IntegrationStatAck, CleanDeliveryNeedsNoRemulticast) {
+    DisScenario scenario(statack_config(10));
+    scenario.start();
+    scenario.run_for(secs(5.0));
+    for (int i = 0; i < 5; ++i) {
+        scenario.send_update(std::size_t{128});
+        scenario.run_for(secs(1.0));
+    }
+    EXPECT_EQ(scenario.sender().stat_ack().remulticast_decisions(), 0u);
+}
+
+TEST(IntegrationStatAck, SourceTailLossTriggersImmediateRemulticast) {
+    // Loss on the source's outgoing backbone link hits every site: the
+    // missing designated-acker ACKs reveal it within ~t_wait and the source
+    // re-multicasts (Section 2.3.4's common case).
+    DisScenario scenario(statack_config(20));
+    auto& network = scenario.network();
+    const auto& topo = scenario.topology();
+    scenario.start();
+    scenario.run_for(secs(5.0));
+    ASSERT_GT(scenario.sender().stat_ack().expected_acks(), 0u);
+
+    // Drop exactly the next multicast on the source's uplink.
+    network.set_loss(topo.source_router, topo.backbone,
+                     std::make_unique<BernoulliLoss>(1.0));
+    scenario.send_update(std::size_t{128});
+    scenario.run_for(millis(30));
+    network.set_loss(topo.source_router, topo.backbone,
+                     std::make_unique<BernoulliLoss>(0.0));
+
+    scenario.run_for(secs(3.0));
+    const SeqNum seq = scenario.sender().last_seq();
+    EXPECT_GE(scenario.sender().stat_ack().remulticast_decisions(), 1u);
+    // Every receiver ends up with the packet, via the re-multicast -- well
+    // before any heartbeat-driven NACK recovery would have kicked in.
+    EXPECT_EQ(scenario.delivery_times(seq).size(), 60u);
+}
+
+TEST(IntegrationStatAck, RemulticastBeatsHeartbeatRecovery) {
+    // The statistical re-multicast should repair widespread loss within
+    // roughly one t_wait + RTT, far faster than h_min + NACK + fetch.
+    DisScenario scenario(statack_config(20));
+    auto& network = scenario.network();
+    const auto& topo = scenario.topology();
+    scenario.start();
+    scenario.run_for(secs(5.0));
+
+    network.set_loss(topo.source_router, topo.backbone,
+                     std::make_unique<BernoulliLoss>(1.0));
+    scenario.send_update(std::size_t{128});
+    scenario.run_for(millis(30));
+    network.set_loss(topo.source_router, topo.backbone,
+                     std::make_unique<BernoulliLoss>(0.0));
+    const SeqNum seq = scenario.sender().last_seq();
+    const TimePoint sent = *scenario.sent_at(seq);
+
+    scenario.run_for(secs(3.0));
+    const auto times = scenario.delivery_times(seq);
+    ASSERT_EQ(times.size(), 60u);
+    for (const auto& [node, when] : times) {
+        EXPECT_LT(when - sent, millis(800)) << "node " << node;
+    }
+}
+
+TEST(IntegrationStatAck, SingleSiteLossDoesNotRemulticast) {
+    // Loss confined to one site's tail circuit: the designated ackers
+    // elsewhere all ACK, so the source waits for NACK-driven recovery
+    // instead of loading the whole group (Section 2.3.2).
+    DisScenario scenario(statack_config(20));
+    auto& network = scenario.network();
+    const auto& topo = scenario.topology();
+    scenario.start();
+    scenario.run_for(secs(5.0));
+
+    network.set_loss(topo.backbone, topo.sites[0].router,
+                     std::make_unique<BernoulliLoss>(1.0));
+    scenario.send_update(std::size_t{128});
+    scenario.run_for(millis(30));
+    network.set_loss(topo.backbone, topo.sites[0].router,
+                     std::make_unique<BernoulliLoss>(0.0));
+    scenario.run_for(secs(5.0));
+
+    // With k=5 ackers over 20 sites the lossy site holds at most one acker;
+    // one missing acker represents 20/5 = 4 sites >= threshold 2 -- so a
+    // remulticast *can* legitimately happen if an acker sat in site 0.  The
+    // robust assertion: every receiver still converges.
+    const SeqNum seq = scenario.sender().last_seq();
+    EXPECT_EQ(scenario.delivery_times(seq).size(), 60u);
+}
+
+TEST(IntegrationStatAck, EpochsRotate) {
+    ScenarioConfig config = statack_config(10);
+    config.stat_ack.epoch_interval = secs(2.0);
+    DisScenario scenario(config);
+    scenario.start();
+    scenario.run_for(secs(10.0));
+    EXPECT_GE(scenario.notice_count(NoticeKind::kEpochStarted), 3u);
+}
+
+}  // namespace
+}  // namespace lbrm::sim

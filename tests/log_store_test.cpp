@@ -1,0 +1,131 @@
+// Packet-log tests: retention policies (count / bytes / age / unbounded),
+// release, gap queries.
+#include <gtest/gtest.h>
+
+#include "core/log_store.hpp"
+#include "tests/test_util.hpp"
+
+namespace lbrm {
+namespace {
+
+using test::at;
+using test::payload;
+
+TEST(LogStore, InsertAndFind) {
+    LogStore log;
+    EXPECT_TRUE(log.insert(at(1), SeqNum{1}, EpochId{0}, payload(16)));
+    const auto* entry = log.find(SeqNum{1});
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->payload, payload(16));
+    EXPECT_EQ(entry->stored_at, at(1));
+    EXPECT_EQ(log.payload_bytes(), 16u);
+}
+
+TEST(LogStore, InsertIsIdempotent) {
+    LogStore log;
+    EXPECT_TRUE(log.insert(at(1), SeqNum{1}, EpochId{0}, payload(16)));
+    EXPECT_FALSE(log.insert(at(2), SeqNum{1}, EpochId{0}, payload(32, 1)));
+    EXPECT_EQ(log.find(SeqNum{1})->payload.size(), 16u);  // first write wins
+    EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(LogStore, MaxEntriesEvictsOldest) {
+    RetentionPolicy policy;
+    policy.max_entries = 3;
+    LogStore log{policy};
+    for (std::uint32_t s = 1; s <= 5; ++s) log.insert(at(s), SeqNum{s}, EpochId{0}, payload(8));
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_FALSE(log.contains(SeqNum{1}));
+    EXPECT_FALSE(log.contains(SeqNum{2}));
+    EXPECT_TRUE(log.contains(SeqNum{3}));
+    EXPECT_EQ(log.evicted(), 2u);
+}
+
+TEST(LogStore, MaxBytesEvictsOldest) {
+    RetentionPolicy policy;
+    policy.max_bytes = 100;
+    LogStore log{policy};
+    for (std::uint32_t s = 1; s <= 5; ++s) log.insert(at(s), SeqNum{s}, EpochId{0}, payload(40));
+    EXPECT_LE(log.payload_bytes(), 100u);
+    EXPECT_TRUE(log.contains(SeqNum{5}));
+    EXPECT_FALSE(log.contains(SeqNum{1}));
+}
+
+TEST(LogStore, AgeExpiry) {
+    RetentionPolicy policy;
+    policy.max_age = secs(10.0);
+    LogStore log{policy};
+    log.insert(at(0), SeqNum{1}, EpochId{0}, payload(8));
+    log.insert(at(5), SeqNum{2}, EpochId{0}, payload(8));
+    EXPECT_EQ(log.expire(at(12)), 1u);  // seq 1 is 12 s old
+    EXPECT_FALSE(log.contains(SeqNum{1}));
+    EXPECT_TRUE(log.contains(SeqNum{2}));
+}
+
+TEST(LogStore, UnboundedKeepsEverything) {
+    LogStore log;  // default policy: keep forever
+    for (std::uint32_t s = 1; s <= 1000; ++s)
+        log.insert(at(s), SeqNum{s}, EpochId{0}, payload(8));
+    EXPECT_EQ(log.size(), 1000u);
+    EXPECT_EQ(log.expire(at(100000)), 0u);
+}
+
+TEST(LogStore, ReleaseThrough) {
+    LogStore log;
+    for (std::uint32_t s = 1; s <= 10; ++s) log.insert(at(s), SeqNum{s}, EpochId{0}, payload(8));
+    log.release_through(SeqNum{7});
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_EQ(log.lowest(), SeqNum{8});
+    EXPECT_EQ(log.highest(), SeqNum{10});
+    EXPECT_EQ(log.payload_bytes(), 24u);
+}
+
+TEST(LogStore, RemoveSingle) {
+    LogStore log;
+    log.insert(at(1), SeqNum{1}, EpochId{0}, payload(8));
+    log.insert(at(1), SeqNum{2}, EpochId{0}, payload(8));
+    EXPECT_TRUE(log.remove(SeqNum{1}));
+    EXPECT_FALSE(log.remove(SeqNum{1}));
+    EXPECT_TRUE(log.contains(SeqNum{2}));
+    EXPECT_EQ(log.payload_bytes(), 8u);
+}
+
+TEST(LogStore, GapsBetween) {
+    LogStore log;
+    log.insert(at(1), SeqNum{1}, EpochId{0}, payload(8));
+    log.insert(at(1), SeqNum{3}, EpochId{0}, payload(8));
+    log.insert(at(1), SeqNum{6}, EpochId{0}, payload(8));
+    EXPECT_EQ(log.gaps(SeqNum{1}, SeqNum{6}),
+              (std::vector<SeqNum>{SeqNum{2}, SeqNum{4}, SeqNum{5}}));
+    EXPECT_TRUE(log.gaps(SeqNum{0}, SeqNum{0}).empty());
+}
+
+TEST(LogStore, EmptyStoreQueries) {
+    LogStore log;
+    EXPECT_TRUE(log.empty());
+    EXPECT_FALSE(log.lowest().has_value());
+    EXPECT_FALSE(log.highest().has_value());
+    EXPECT_EQ(log.find(SeqNum{1}), nullptr);
+}
+
+TEST(LogStore, WrapAroundOrdering) {
+    LogStore log;
+    log.insert(at(1), SeqNum{0xFFFFFFFEu}, EpochId{0}, payload(8));
+    log.insert(at(2), SeqNum{0xFFFFFFFFu}, EpochId{0}, payload(8));
+    log.insert(at(3), SeqNum{0}, EpochId{0}, payload(8));
+    log.insert(at(4), SeqNum{1}, EpochId{0}, payload(8));
+    EXPECT_EQ(log.lowest(), SeqNum{0xFFFFFFFEu});
+    EXPECT_EQ(log.highest(), SeqNum{1});
+    log.release_through(SeqNum{0});
+    EXPECT_EQ(log.lowest(), SeqNum{1});
+}
+
+TEST(LogStore, ZeroLengthPayloadIsValid) {
+    LogStore log;
+    EXPECT_TRUE(log.insert(at(1), SeqNum{1}, EpochId{0}, {}));
+    ASSERT_NE(log.find(SeqNum{1}), nullptr);
+    EXPECT_TRUE(log.find(SeqNum{1})->payload.empty());
+}
+
+}  // namespace
+}  // namespace lbrm

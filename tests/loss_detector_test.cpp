@@ -1,0 +1,146 @@
+// Loss-detector unit tests: gap detection, heartbeat-revealed losses,
+// reordering tolerance, duplicates and recovery bookkeeping.
+#include <gtest/gtest.h>
+
+#include "core/loss_detector.hpp"
+#include "tests/test_util.hpp"
+
+namespace lbrm {
+namespace {
+
+using test::at;
+
+TEST(LossDetector, InOrderStreamHasNoLoss) {
+    LossDetector d;
+    for (std::uint32_t s = 1; s <= 100; ++s) {
+        auto obs = d.observe(at(s), SeqNum{s});
+        EXPECT_TRUE(obs.newly_missing.empty());
+        EXPECT_FALSE(obs.duplicate);
+        EXPECT_FALSE(obs.fills_gap);
+    }
+    EXPECT_EQ(d.missing_count(), 0u);
+    EXPECT_EQ(d.highest_seen(), SeqNum{100});
+}
+
+TEST(LossDetector, SingleGapDetected) {
+    LossDetector d;
+    d.observe(at(1), SeqNum{1});
+    auto obs = d.observe(at(2), SeqNum{3});
+    ASSERT_EQ(obs.newly_missing.size(), 1u);
+    EXPECT_EQ(obs.newly_missing[0], SeqNum{2});
+    EXPECT_TRUE(d.is_missing(SeqNum{2}));
+    EXPECT_EQ(d.detected_at(SeqNum{2}), at(2));
+}
+
+TEST(LossDetector, MultiPacketGap) {
+    LossDetector d;
+    d.observe(at(1), SeqNum{10});
+    auto obs = d.observe(at(2), SeqNum{15});
+    EXPECT_EQ(obs.newly_missing.size(), 4u);  // 11..14
+    EXPECT_EQ(d.missing(), (std::vector<SeqNum>{SeqNum{11}, SeqNum{12}, SeqNum{13}, SeqNum{14}}));
+}
+
+TEST(LossDetector, HeartbeatRevealsLostDataPacket) {
+    LossDetector d;
+    d.observe(at(1), SeqNum{5});
+    // Heartbeat repeating seq 6 proves data 6 was sent and we missed it.
+    auto obs = d.observe(at(2), SeqNum{6}, /*is_heartbeat=*/true);
+    ASSERT_EQ(obs.newly_missing.size(), 1u);
+    EXPECT_EQ(obs.newly_missing[0], SeqNum{6});
+}
+
+TEST(LossDetector, HeartbeatForReceivedPacketIsQuiet) {
+    LossDetector d;
+    d.observe(at(1), SeqNum{5});
+    auto obs = d.observe(at(2), SeqNum{5}, /*is_heartbeat=*/true);
+    EXPECT_TRUE(obs.newly_missing.empty());
+    EXPECT_FALSE(obs.duplicate);
+}
+
+TEST(LossDetector, RepeatedHeartbeatsDontRededect) {
+    LossDetector d;
+    d.observe(at(1), SeqNum{5});
+    auto first = d.observe(at(2), SeqNum{6}, true);
+    EXPECT_EQ(first.newly_missing.size(), 1u);
+    auto second = d.observe(at(3), SeqNum{6}, true);
+    EXPECT_TRUE(second.newly_missing.empty());
+}
+
+TEST(LossDetector, RecoveryFillsGap) {
+    LossDetector d;
+    d.observe(at(1), SeqNum{1});
+    d.observe(at(2), SeqNum{3});
+    auto obs = d.observe(at(3), SeqNum{2});
+    EXPECT_TRUE(obs.fills_gap);
+    EXPECT_FALSE(obs.duplicate);
+    EXPECT_EQ(d.missing_count(), 0u);
+}
+
+TEST(LossDetector, ReorderingRetractsMissing) {
+    // 1, 3, 2 arrive: 2 is briefly "missing" then retracted on arrival.
+    LossDetector d;
+    d.observe(at(1), SeqNum{1});
+    EXPECT_EQ(d.observe(at(2), SeqNum{3}).newly_missing.size(), 1u);
+    EXPECT_TRUE(d.observe(at(3), SeqNum{2}).fills_gap);
+}
+
+TEST(LossDetector, DuplicateDataDetected) {
+    LossDetector d;
+    d.observe(at(1), SeqNum{1});
+    d.observe(at(2), SeqNum{2});
+    auto obs = d.observe(at(3), SeqNum{2});
+    EXPECT_TRUE(obs.duplicate);
+}
+
+TEST(LossDetector, AbandonStopsTracking) {
+    LossDetector d;
+    d.observe(at(1), SeqNum{1});
+    d.observe(at(2), SeqNum{5});
+    d.abandon(SeqNum{2});
+    EXPECT_FALSE(d.is_missing(SeqNum{2}));
+    EXPECT_EQ(d.missing_count(), 2u);  // 3, 4 remain
+}
+
+TEST(LossDetector, FirstPacketEverIsNotALoss) {
+    // Joining an in-progress stream at seq 1000 must not declare 1..999 lost.
+    LossDetector d;
+    auto obs = d.observe(at(1), SeqNum{1000});
+    EXPECT_TRUE(obs.newly_missing.empty());
+}
+
+TEST(LossDetector, JoinViaHeartbeatThenData) {
+    LossDetector d;
+    d.observe(at(1), SeqNum{7}, /*is_heartbeat=*/true);  // join late, silent
+    auto obs = d.observe(at(2), SeqNum{8});
+    EXPECT_TRUE(obs.newly_missing.empty());
+    EXPECT_EQ(d.highest_seen(), SeqNum{8});
+}
+
+TEST(LossDetector, LastHeardTracksEverything) {
+    LossDetector d;
+    EXPECT_FALSE(d.last_heard().has_value());
+    d.observe(at(1), SeqNum{1});
+    d.observe(at(5), SeqNum{1}, true);
+    EXPECT_EQ(d.last_heard(), at(5));
+}
+
+TEST(LossDetector, WrapAroundGap) {
+    LossDetector d;
+    d.observe(at(1), SeqNum{0xFFFFFFFEu});
+    auto obs = d.observe(at(2), SeqNum{1});
+    EXPECT_EQ(obs.newly_missing.size(), 2u);  // FFFFFFFF and 0
+    EXPECT_TRUE(d.is_missing(SeqNum{0xFFFFFFFFu}));
+    EXPECT_TRUE(d.is_missing(SeqNum{0}));
+}
+
+TEST(LossDetector, LargeStreamStaysBounded) {
+    // The received-set trims behind the horizon; memory must not grow
+    // unboundedly over long streams.
+    LossDetector d;
+    for (std::uint32_t s = 1; s <= 100'000; ++s) d.observe(at(s), SeqNum{s});
+    EXPECT_EQ(d.missing_count(), 0u);
+    EXPECT_EQ(d.highest_seen(), SeqNum{100'000});
+}
+
+}  // namespace
+}  // namespace lbrm

@@ -1,0 +1,214 @@
+// Property tests for the protocol's central invariant, swept over loss
+// regimes and configurations with parameterized gtest:
+//
+//   RECEIVER-RELIABILITY: as long as the logging hierarchy retains the
+//   packets and the network eventually delivers something, every receiver
+//   that stays connected ends up with every data packet (live, repaired, or
+//   recovered), each exactly once, and ends the run fresh.
+//
+// Each parameter combination runs a randomized-loss simulation and checks
+// the full cross-product of receivers x sequence numbers.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "sim/scenario.hpp"
+
+namespace lbrm::sim {
+namespace {
+
+struct SweepParam {
+    double loss_rate;          // Bernoulli loss on every tail circuit
+    bool stat_ack;             // statistical acknowledgement on?
+    bool retrans_channel;      // Section 7 channel recovery?
+    std::uint64_t seed;
+
+    friend std::ostream& operator<<(std::ostream& os, const SweepParam& p) {
+        return os << "loss" << static_cast<int>(p.loss_rate * 100) << "_sa"
+                  << p.stat_ack << "_rc" << p.retrans_channel << "_s" << p.seed;
+    }
+};
+
+class ConvergenceSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ConvergenceSweep, EveryReceiverGetsEveryPacketExactlyOnce) {
+    const SweepParam param = GetParam();
+
+    ScenarioConfig config;
+    config.topology.sites = 4;
+    config.topology.receivers_per_site = 4;
+    config.seed = param.seed;
+    config.stat_ack.enabled = param.stat_ack;
+    config.stat_ack.k = 4;
+    config.stat_ack.initial_probe_p = 0.5;
+    config.stat_ack.probe_target_replies = 2;
+    config.stat_ack.probe_repeats = 1;
+    config.use_retrans_channel = param.retrans_channel;
+    config.retrans_channel_copies = 4;
+    // Generous retry budgets: giving up after a few NACKs is legitimate
+    // receiver-reliable behaviour, but this test checks the convergence
+    // invariant, so make abandonment astronomically unlikely.
+    config.receiver_defaults.nack_max_retries = 8;
+    config.logger_defaults.fetch_max_retries = 12;
+
+    DisScenario scenario(config);
+    auto& network = scenario.network();
+    const auto& topo = scenario.topology();
+
+    scenario.start();
+    if (param.stat_ack) scenario.run_for(secs(3.0));
+
+    // Establish the stream losslessly first: a receiver that never observes
+    // the stream's beginning starts fresh there by design (receiver-reliable
+    // semantics cover the stream from first observation onward).
+    constexpr int kPackets = 15;
+    scenario.send_update(std::size_t{100});
+    scenario.run_for(millis(700));
+
+    // Now random loss on every tail circuit, both directions, for the rest
+    // of the run.
+    for (const auto& site : topo.sites) {
+        network.set_loss(topo.backbone, site.router,
+                         std::make_unique<BernoulliLoss>(param.loss_rate));
+        network.set_loss(site.router, topo.backbone,
+                         std::make_unique<BernoulliLoss>(param.loss_rate));
+    }
+
+    for (int i = 1; i < kPackets; ++i) {
+        scenario.send_update(std::size_t{100});
+        scenario.run_for(millis(700));
+    }
+    // Lossy links stay lossy: recovery has to punch through them.  Give the
+    // retry machinery ample virtual time.
+    scenario.run_for(secs(60.0));
+
+    // Then the network heals; after 2 x h_max every receiver must be fresh
+    // again (freshness legitimately flaps *during* sustained heartbeat
+    // loss -- that is the protocol reporting the truth).
+    for (const auto& site : topo.sites) {
+        network.set_loss(topo.backbone, site.router, std::make_unique<BernoulliLoss>(0.0));
+        network.set_loss(site.router, topo.backbone, std::make_unique<BernoulliLoss>(0.0));
+    }
+    scenario.run_for(secs(70.0));
+
+    const auto receivers = topo.all_receivers();
+    std::map<NodeId, std::set<std::uint32_t>> got;
+    std::map<NodeId, std::map<std::uint32_t, int>> copies;
+    for (const auto& d : scenario.deliveries()) {
+        got[d.node].insert(d.seq.value());
+        copies[d.node][d.seq.value()]++;
+    }
+
+    for (NodeId r : receivers) {
+        EXPECT_EQ(got[r].size(), static_cast<std::size_t>(kPackets))
+            << "receiver " << r << " missing packets";
+        for (const auto& [seq, count] : copies[r])
+            EXPECT_EQ(count, 1) << "receiver " << r << " seq " << seq
+                                << " delivered more than once";
+        EXPECT_TRUE(scenario.receiver(r).fresh()) << "receiver " << r;
+        EXPECT_EQ(scenario.receiver(r).detector().missing_count(), 0u)
+            << "receiver " << r;
+    }
+    EXPECT_EQ(scenario.notice_count(NoticeKind::kRecoveryFailed), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossSweep, ConvergenceSweep,
+    ::testing::Values(SweepParam{0.0, false, false, 11}, SweepParam{0.05, false, false, 12},
+                      SweepParam{0.15, false, false, 13}, SweepParam{0.30, false, false, 14},
+                      SweepParam{0.05, true, false, 15}, SweepParam{0.15, true, false, 16},
+                      SweepParam{0.30, true, false, 17}, SweepParam{0.15, false, true, 18},
+                      SweepParam{0.30, false, true, 19}, SweepParam{0.15, true, false, 20},
+                      SweepParam{0.15, false, false, 21}, SweepParam{0.15, false, false, 22},
+                      SweepParam{0.15, true, true, 23}, SweepParam{0.30, true, true, 24}),
+    [](const auto& info) {
+        std::ostringstream os;
+        os << info.param;
+        return os.str();
+    });
+
+// --- log-retention property -----------------------------------------------
+
+class RetentionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RetentionSweep, BoundedLogsNeverExceedTheirBudget) {
+    const std::size_t max_entries = GetParam();
+    ScenarioConfig config;
+    config.topology.sites = 2;
+    config.topology.receivers_per_site = 2;
+    config.stat_ack.enabled = false;
+    config.logger_defaults.retention.max_entries = max_entries;
+    DisScenario scenario(config);
+    scenario.start();
+    for (int i = 0; i < 30; ++i) {
+        scenario.send_update(std::size_t{64});
+        scenario.run_for(millis(100));
+    }
+    scenario.run_for(secs(2.0));
+    EXPECT_LE(scenario.primary_logger().store().size(), max_entries);
+    EXPECT_LE(scenario.secondary_logger(0).store().size(), max_entries);
+    // The newest packets are the ones retained.
+    EXPECT_EQ(scenario.primary_logger().store().highest(), SeqNum{30});
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, RetentionSweep, ::testing::Values(5u, 10u, 50u));
+
+// --- heartbeat-parameter sweep property --------------------------------------
+
+struct HbParam {
+    double h_min_s;
+    double backoff;
+    friend std::ostream& operator<<(std::ostream& os, const HbParam& p) {
+        return os << "hmin" << static_cast<int>(p.h_min_s * 1000) << "_b"
+                  << static_cast<int>(p.backoff * 10);
+    }
+};
+
+class HeartbeatSweep : public ::testing::TestWithParam<HbParam> {};
+
+TEST_P(HeartbeatSweep, LastPacketLossIsAlwaysDetectedAndRepaired) {
+    // Whatever the heartbeat parameters, a lost *final* packet -- the case
+    // only heartbeats can reveal -- is detected within ~2 x h_min + RTT and
+    // repaired.
+    const HbParam param = GetParam();
+    ScenarioConfig config;
+    config.topology.sites = 2;
+    config.topology.receivers_per_site = 3;
+    config.stat_ack.enabled = false;
+    config.heartbeat.h_min = secs(param.h_min_s);
+    config.heartbeat.backoff = param.backoff;
+    DisScenario scenario(config);
+    auto& network = scenario.network();
+    const auto& topo = scenario.topology();
+    scenario.start();
+    scenario.send_update(std::size_t{64});
+    scenario.run_for(secs(2.0));
+
+    network.set_loss(topo.backbone, topo.sites[0].router,
+                     std::make_unique<BernoulliLoss>(1.0));
+    scenario.send_update(std::size_t{64});
+    const TimePoint sent = *scenario.sent_at(SeqNum{2});
+    scenario.run_for(secs(param.h_min_s * 0.5));
+    network.set_loss(topo.backbone, topo.sites[0].router,
+                     std::make_unique<BernoulliLoss>(0.0));
+    scenario.run_for(secs(20.0));
+
+    ASSERT_EQ(scenario.delivery_times(SeqNum{2}).size(), 6u);
+    // Detection bound: the burst lasted h_min/2 < h_min, so the first
+    // heartbeat after the burst reveals the loss within ~h_min + slack.
+    for (const auto& n : scenario.notices()) {
+        if (n.kind == NoticeKind::kLossDetected && n.arg == 2) {
+            EXPECT_LT(to_seconds(n.at - sent), param.h_min_s * param.backoff + 0.2);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, HeartbeatSweep,
+                         ::testing::Values(HbParam{0.1, 2.0}, HbParam{0.25, 2.0},
+                                           HbParam{0.25, 3.0}, HbParam{0.5, 2.0},
+                                           HbParam{0.25, 1.5}, HbParam{1.0, 4.0}));
+
+}  // namespace
+}  // namespace lbrm::sim

@@ -1,0 +1,314 @@
+// ReceiverCore unit tests: delivery, NACK generation/batching, retry and
+// escalation through the logger hierarchy, freshness watchdog, discovery.
+#include <gtest/gtest.h>
+
+#include "core/receiver.hpp"
+#include "tests/test_util.hpp"
+
+namespace lbrm {
+namespace {
+
+using test::at;
+using test::count_sent;
+using test::deliveries;
+using test::find_timer;
+using test::payload;
+using test::sent_of_type;
+
+constexpr NodeId kSelf{10};
+constexpr NodeId kSource{1};
+constexpr NodeId kSecondary{2};
+constexpr NodeId kPrimary{3};
+constexpr GroupId kGroup{5};
+
+ReceiverConfig base_config() {
+    ReceiverConfig c;
+    c.self = kSelf;
+    c.group = kGroup;
+    c.source = kSource;
+    c.logger = kSecondary;
+    c.fallback_logger = kPrimary;
+    c.nack_delay_min = millis(5);
+    c.nack_delay_max = millis(15);
+    c.nack_retry = millis(200);
+    c.nack_max_retries = 2;
+    return c;
+}
+
+Packet data(SeqNum seq, std::uint8_t salt = 0) {
+    return Packet{Header{kGroup, kSource, kSource}, DataBody{seq, EpochId{0}, payload(8, salt)}};
+}
+
+Packet heartbeat(SeqNum last, std::uint32_t index = 0) {
+    return Packet{Header{kGroup, kSource, kSource}, HeartbeatBody{last, index}};
+}
+
+Packet retransmission(NodeId from, SeqNum seq) {
+    return Packet{Header{kGroup, kSource, from},
+                  RetransmissionBody{seq, EpochId{0}, false, payload(8)}};
+}
+
+TEST(Receiver, DeliversDataInArrivalOrder) {
+    ReceiverCore r{base_config()};
+    r.start(at(0.0));
+    auto a1 = r.on_packet(at(1.0), data(SeqNum{1}));
+    auto a2 = r.on_packet(at(1.1), data(SeqNum{2}));
+    ASSERT_EQ(deliveries(a1).size(), 1u);
+    ASSERT_EQ(deliveries(a2).size(), 1u);
+    EXPECT_EQ(deliveries(a1)[0].seq, SeqNum{1});
+    EXPECT_FALSE(deliveries(a1)[0].recovered);
+    EXPECT_EQ(r.delivered(), 2u);
+}
+
+TEST(Receiver, DuplicateDataNotRedelivered) {
+    ReceiverCore r{base_config()};
+    r.start(at(0.0));
+    r.on_packet(at(1.0), data(SeqNum{1}));
+    auto again = r.on_packet(at(1.1), data(SeqNum{1}));
+    EXPECT_TRUE(deliveries(again).empty());
+    EXPECT_EQ(r.duplicates(), 1u);
+}
+
+TEST(Receiver, GapSchedulesDelayedNackToLocalLogger) {
+    ReceiverCore r{base_config()};
+    r.start(at(0.0));
+    r.on_packet(at(1.0), data(SeqNum{1}));
+    auto gap = r.on_packet(at(1.1), data(SeqNum{3}));
+
+    // Loss notice plus a short randomized NACK delay (Appendix A).
+    EXPECT_EQ(test::notices(gap, NoticeKind::kLossDetected).size(), 1u);
+    auto delay = find_timer(gap, TimerKind::kNackDelay);
+    ASSERT_TRUE(delay.has_value());
+    EXPECT_GE(delay->deadline, at(1.1) + millis(5));
+    EXPECT_LE(delay->deadline, at(1.1) + millis(15));
+
+    auto fired = r.on_timer(delay->deadline, delay->id);
+    const auto nacks = sent_of_type(fired, PacketType::kNack);
+    ASSERT_EQ(nacks.size(), 1u);
+    EXPECT_EQ(nacks[0].to, kSecondary);
+    EXPECT_EQ(std::get<NackBody>(nacks[0].packet.body).missing,
+              std::vector<SeqNum>{SeqNum{2}});
+    EXPECT_EQ(r.nacks_sent(), 1u);
+}
+
+TEST(Receiver, NackBatchesMultipleMissing) {
+    ReceiverCore r{base_config()};
+    r.start(at(0.0));
+    r.on_packet(at(1.0), data(SeqNum{1}));
+    auto gap = r.on_packet(at(1.1), data(SeqNum{5}));
+    auto delay = find_timer(gap, TimerKind::kNackDelay);
+    auto fired = r.on_timer(delay->deadline, delay->id);
+    const auto nacks = sent_of_type(fired, PacketType::kNack);
+    ASSERT_EQ(nacks.size(), 1u);
+    EXPECT_EQ(std::get<NackBody>(nacks[0].packet.body).missing.size(), 3u);  // 2,3,4
+}
+
+TEST(Receiver, ReorderedArrivalBeforeNackTimerSuppressesNack) {
+    ReceiverCore r{base_config()};
+    r.start(at(0.0));
+    r.on_packet(at(1.0), data(SeqNum{1}));
+    auto gap = r.on_packet(at(1.1), data(SeqNum{3}));
+    auto delay = find_timer(gap, TimerKind::kNackDelay);
+    // Packet 2 was merely reordered and arrives before the timer.
+    auto fill = r.on_packet(at(1.105), data(SeqNum{2}));
+    ASSERT_EQ(deliveries(fill).size(), 1u);
+    EXPECT_TRUE(deliveries(fill)[0].recovered);  // arrived out of order, filled gap
+
+    auto fired = r.on_timer(delay->deadline, delay->id);
+    EXPECT_EQ(count_sent(fired, PacketType::kNack), 0u);
+    EXPECT_EQ(r.nacks_sent(), 0u);
+}
+
+TEST(Receiver, HeartbeatRevealsLoss) {
+    ReceiverCore r{base_config()};
+    r.start(at(0.0));
+    r.on_packet(at(1.0), data(SeqNum{1}));
+    auto hb = r.on_packet(at(1.3), heartbeat(SeqNum{2}));
+    EXPECT_EQ(test::notices(hb, NoticeKind::kLossDetected).size(), 1u);
+    EXPECT_TRUE(find_timer(hb, TimerKind::kNackDelay).has_value());
+}
+
+TEST(Receiver, RetransmissionFillsGapAndStopsRetry) {
+    ReceiverCore r{base_config()};
+    r.start(at(0.0));
+    r.on_packet(at(1.0), data(SeqNum{1}));
+    auto gap = r.on_packet(at(1.1), data(SeqNum{3}));
+    auto delay = find_timer(gap, TimerKind::kNackDelay);
+    r.on_timer(delay->deadline, delay->id);
+
+    auto repair = r.on_packet(at(1.2), retransmission(kSecondary, SeqNum{2}));
+    ASSERT_EQ(deliveries(repair).size(), 1u);
+    EXPECT_TRUE(deliveries(repair)[0].recovered);
+    EXPECT_TRUE(test::has_cancel(repair, TimerKind::kNackRetry));
+    EXPECT_EQ(r.recovered(), 1u);
+}
+
+TEST(Receiver, RetryThenEscalateToFallback) {
+    ReceiverCore r{base_config()};
+    r.start(at(0.0));
+    r.on_packet(at(1.0), data(SeqNum{1}));
+    auto gap = r.on_packet(at(1.1), data(SeqNum{3}));
+    auto delay = find_timer(gap, TimerKind::kNackDelay);
+    auto first = r.on_timer(delay->deadline, delay->id);
+    auto retry_timer = find_timer(first, TimerKind::kNackRetry);
+    ASSERT_TRUE(retry_timer.has_value());
+
+    // First retry goes to the same (secondary) logger.
+    auto retry1 = r.on_timer(retry_timer->deadline, retry_timer->id);
+    auto nacks = sent_of_type(retry1, PacketType::kNack);
+    ASSERT_EQ(nacks.size(), 1u);
+    EXPECT_EQ(nacks[0].to, kSecondary);
+
+    // Second retry exhausts the per-level budget: escalate to the fallback.
+    auto rt2 = find_timer(retry1, TimerKind::kNackRetry);
+    auto retry2 = r.on_timer(rt2->deadline, rt2->id);
+    nacks = sent_of_type(retry2, PacketType::kNack);
+    ASSERT_EQ(nacks.size(), 1u);
+    EXPECT_EQ(nacks[0].to, kPrimary);
+    EXPECT_EQ(test::notices(retry2, NoticeKind::kLoggerChanged).size(), 1u);
+}
+
+TEST(Receiver, FinalEscalationQueriesSourceForPrimary) {
+    ReceiverConfig c = base_config();
+    c.nack_max_retries = 1;
+    ReceiverCore r{c};
+    r.start(at(0.0));
+    r.on_packet(at(1.0), data(SeqNum{1}));
+    auto gap = r.on_packet(at(1.1), data(SeqNum{3}));
+    auto delay = find_timer(gap, TimerKind::kNackDelay);
+    auto fired = r.on_timer(delay->deadline, delay->id);
+
+    // Exhaust local level -> fallback; exhaust fallback -> PrimaryQuery.
+    auto t1 = find_timer(fired, TimerKind::kNackRetry);
+    auto esc1 = r.on_timer(t1->deadline, t1->id);  // -> fallback nack
+    auto t2 = find_timer(esc1, TimerKind::kNackRetry);
+    auto esc2 = r.on_timer(t2->deadline, t2->id);  // -> PrimaryQuery
+    const auto query = sent_of_type(esc2, PacketType::kPrimaryQuery);
+    ASSERT_EQ(query.size(), 1u);
+    EXPECT_EQ(query[0].to, kSource);
+
+    // Source answers with a (new) primary; the receiver re-NACKs there
+    // after its usual short batching delay.
+    auto reply = r.on_packet(
+        at(3.0), Packet{Header{kGroup, kSource, kSource}, PrimaryReplyBody{NodeId{77}}});
+    auto delay2 = find_timer(reply, TimerKind::kNackDelay);
+    ASSERT_TRUE(delay2.has_value());
+    auto renack = r.on_timer(delay2->deadline, delay2->id);
+    const auto nacks = sent_of_type(renack, PacketType::kNack);
+    ASSERT_EQ(nacks.size(), 1u);
+    EXPECT_EQ(nacks[0].to, NodeId{77});
+}
+
+TEST(Receiver, RecoveryEventuallyAbandons) {
+    ReceiverConfig c = base_config();
+    c.nack_max_retries = 1;
+    ReceiverCore r{c};
+    r.start(at(0.0));
+    r.on_packet(at(1.0), data(SeqNum{1}));
+    auto gap = r.on_packet(at(1.1), data(SeqNum{3}));
+    auto delay = find_timer(gap, TimerKind::kNackDelay);
+    Actions last = r.on_timer(delay->deadline, delay->id);
+
+    // Walk every escalation level to exhaustion.
+    for (int i = 0; i < 10; ++i) {
+        auto t = find_timer(last, TimerKind::kNackRetry);
+        if (!t) break;
+        last = r.on_timer(t->deadline, t->id);
+        if (!test::notices(last, NoticeKind::kRecoveryFailed).empty()) break;
+    }
+    EXPECT_EQ(r.recovery_failures(), 1u);
+    EXPECT_FALSE(r.detector().is_missing(SeqNum{2}));
+}
+
+TEST(Receiver, FreshnessLostAfterSilenceAndRestored) {
+    ReceiverCore r{base_config()};
+    auto start = r.start(at(0.0));
+    r.on_packet(at(0.1), data(SeqNum{1}));
+    EXPECT_TRUE(r.fresh());
+
+    // Idle timer armed by the data packet: h_min expected, x2 safety.
+    auto idle = find_timer(r.on_packet(at(0.2), data(SeqNum{2})), TimerKind::kIdle);
+    ASSERT_TRUE(idle.has_value());
+    EXPECT_EQ(idle->deadline, at(0.2) + secs(0.5));
+
+    auto fired = r.on_timer(idle->deadline, idle->id);
+    EXPECT_EQ(test::notices(fired, NoticeKind::kFreshnessLost).size(), 1u);
+    EXPECT_FALSE(r.fresh());
+
+    auto back = r.on_packet(at(2.0), data(SeqNum{3}));
+    EXPECT_EQ(test::notices(back, NoticeKind::kFreshnessRestored).size(), 1u);
+    EXPECT_TRUE(r.fresh());
+}
+
+TEST(Receiver, IdleThresholdTracksHeartbeatBackoff) {
+    ReceiverCore r{base_config()};
+    r.start(at(0.0));
+    // Heartbeat index 3: next gap = 0.25 * 2^4 = 4 s; threshold = 8 s.
+    auto actions = r.on_packet(at(1.0), heartbeat(SeqNum{0}, 3));
+    auto idle = find_timer(actions, TimerKind::kIdle);
+    ASSERT_TRUE(idle.has_value());
+    EXPECT_EQ(idle->deadline, at(1.0) + secs(8.0));
+}
+
+TEST(Receiver, IdleThresholdCapsAtHMax) {
+    ReceiverCore r{base_config()};
+    r.start(at(0.0));
+    auto actions = r.on_packet(at(1.0), heartbeat(SeqNum{0}, 60));
+    auto idle = find_timer(actions, TimerKind::kIdle);
+    EXPECT_EQ(idle->deadline, at(1.0) + secs(64.0));  // 2 x h_max
+}
+
+TEST(Receiver, DiscoveryExpandsRings) {
+    ReceiverConfig c = base_config();
+    c.logger = kNoNode;  // force discovery
+    ReceiverCore r{c};
+    auto start = r.start(at(0.0));
+    auto queries = sent_of_type(start, PacketType::kDiscoveryQuery);
+    ASSERT_EQ(queries.size(), 1u);
+    EXPECT_EQ(queries[0].scope, McastScope::kSite);
+
+    // No answer: rings widen.
+    auto t = find_timer(start, TimerKind::kDiscovery);
+    auto round2 = r.on_timer(t->deadline, t->id);
+    EXPECT_EQ(sent_of_type(round2, PacketType::kDiscoveryQuery)[0].scope, McastScope::kSite);
+    t = find_timer(round2, TimerKind::kDiscovery);
+    auto round3 = r.on_timer(t->deadline, t->id);
+    EXPECT_EQ(sent_of_type(round3, PacketType::kDiscoveryQuery)[0].scope,
+              McastScope::kRegion);
+}
+
+TEST(Receiver, DiscoveryReplyAdoptsLogger) {
+    ReceiverConfig c = base_config();
+    c.logger = kNoNode;
+    ReceiverCore r{c};
+    auto start = r.start(at(0.0));
+    const auto query = sent_of_type(start, PacketType::kDiscoveryQuery)[0];
+    const auto nonce = std::get<DiscoveryQueryBody>(query.packet.body).nonce;
+
+    auto reply = r.on_packet(at(0.05), Packet{Header{kGroup, kSource, kSecondary},
+                                              DiscoveryReplyBody{nonce, kSecondary, false}});
+    EXPECT_EQ(test::notices(reply, NoticeKind::kLoggerChanged).size(), 1u);
+    EXPECT_EQ(r.current_logger(), kSecondary);
+}
+
+TEST(Receiver, StaleDiscoveryReplyIgnored) {
+    ReceiverConfig c = base_config();
+    c.logger = kNoNode;
+    ReceiverCore r{c};
+    auto start = r.start(at(0.0));
+    auto reply = r.on_packet(at(0.05), Packet{Header{kGroup, kSource, kSecondary},
+                                              DiscoveryReplyBody{9999, kSecondary, false}});
+    EXPECT_TRUE(test::notices(reply, NoticeKind::kLoggerChanged).empty());
+}
+
+TEST(Receiver, IgnoresForeignGroup) {
+    ReceiverCore r{base_config()};
+    r.start(at(0.0));
+    Packet foreign{Header{GroupId{99}, kSource, kSource},
+                   DataBody{SeqNum{1}, EpochId{0}, payload(8)}};
+    EXPECT_TRUE(r.on_packet(at(1.0), foreign).empty());
+    EXPECT_EQ(r.delivered(), 0u);
+}
+
+}  // namespace
+}  // namespace lbrm

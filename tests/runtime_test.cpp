@@ -1,0 +1,293 @@
+// ProtocolHost tests: action execution against fake driver services, timer
+// keying across cores, packet fan-in to all attached cores, datagram
+// decode-and-dispatch, generic-core attachment and inject().
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "runtime/protocol_host.hpp"
+#include "tests/test_util.hpp"
+
+namespace lbrm {
+namespace {
+
+using test::at;
+using test::payload;
+
+/// Records everything the host asks the driver to do.
+class FakeNetwork final : public NetworkService {
+public:
+    struct Sent {
+        bool unicast;
+        NodeId to;
+        Packet packet;
+    };
+    std::vector<Sent> sent;
+    std::vector<GroupId> joined;
+    std::vector<GroupId> left;
+
+    void send_unicast(NodeId to, const Packet& packet) override {
+        sent.push_back({true, to, packet});
+    }
+    void send_multicast(const Packet& packet, McastScope) override {
+        sent.push_back({false, kNoNode, packet});
+    }
+    void join_group(GroupId group) override { joined.push_back(group); }
+    void leave_group(GroupId group) override { left.push_back(group); }
+
+    [[nodiscard]] std::size_t count(PacketType type) const {
+        std::size_t n = 0;
+        for (const auto& s : sent)
+            if (s.packet.type() == type) ++n;
+        return n;
+    }
+};
+
+class FakeTimers final : public TimerService {
+public:
+    struct Key {
+        std::uint32_t tag;
+        TimerId id;
+        friend bool operator<(const Key& a, const Key& b) {
+            if (a.tag != b.tag) return a.tag < b.tag;
+            return a.id < b.id;
+        }
+    };
+    std::map<Key, TimePoint> armed;
+
+    void arm(std::uint32_t tag, TimerId id, TimePoint deadline) override {
+        armed[{tag, id}] = deadline;
+    }
+    void cancel(std::uint32_t tag, TimerId id) override { armed.erase({tag, id}); }
+};
+
+constexpr GroupId kGroup{1};
+constexpr NodeId kSource{1};
+constexpr NodeId kPrimary{2};
+constexpr NodeId kReceiver{3};
+
+TEST(ProtocolHost, SenderActionsReachTheDriver) {
+    FakeNetwork network;
+    FakeTimers timers;
+    ProtocolHost host{network, timers};
+
+    SenderConfig config;
+    config.self = kSource;
+    config.group = kGroup;
+    config.primary_logger = kPrimary;
+    config.stat_ack.enabled = false;
+    host.add_sender(config);
+    host.start(at(0.0));
+
+    // start() armed the heartbeat under the sender's tag (0).
+    EXPECT_TRUE(timers.armed.contains({0, {TimerKind::kHeartbeat, 0}}));
+
+    host.send(at(1.0), payload(32));
+    EXPECT_EQ(network.count(PacketType::kData), 1u);
+    EXPECT_EQ(network.count(PacketType::kLogStore), 1u);
+    EXPECT_TRUE(timers.armed.contains({0, {TimerKind::kLogStoreRetry, 0}}));
+}
+
+TEST(ProtocolHost, PacketsFanInToEveryCore) {
+    // A host that is simultaneously a receiver for the group and a
+    // secondary logger (the paper's co-hosting recursion): one incoming
+    // data packet must reach both cores.
+    FakeNetwork network;
+    FakeTimers timers;
+    ProtocolHost host{network, timers};
+
+    ReceiverConfig receiver_config;
+    receiver_config.self = kReceiver;
+    receiver_config.group = kGroup;
+    receiver_config.source = kSource;
+    receiver_config.logger = kPrimary;
+    std::vector<SeqNum> delivered;
+    AppHandlers handlers;
+    handlers.on_data = [&](TimePoint, const DeliverData& d) { delivered.push_back(d.seq); };
+    host.add_receiver(receiver_config, handlers);
+
+    LoggerConfig logger_config;
+    logger_config.self = kReceiver;
+    logger_config.group = kGroup;
+    logger_config.source = kSource;
+    logger_config.role = LoggerRole::kSecondary;
+    logger_config.upstream = kPrimary;
+    LoggerCore& logger = host.add_logger(logger_config, 7);
+
+    host.start(at(0.0));
+    Packet data{Header{kGroup, kSource, kSource},
+                DataBody{SeqNum{1}, EpochId{0}, payload(16)}};
+    host.on_packet(at(1.0), data);
+
+    EXPECT_EQ(delivered.size(), 1u);            // receiver delivered it
+    EXPECT_TRUE(logger.store().contains(SeqNum{1}));  // logger logged it
+}
+
+TEST(ProtocolHost, TimerKeysAreScopedPerCore) {
+    // Two receivers on one host: both arm kIdle; the keys must not collide.
+    FakeNetwork network;
+    FakeTimers timers;
+    ProtocolHost host{network, timers};
+
+    for (std::uint32_t group : {1u, 2u}) {
+        ReceiverConfig config;
+        config.self = kReceiver;
+        config.group = GroupId{group};
+        config.source = kSource;
+        config.logger = kPrimary;
+        host.add_receiver(config);
+    }
+    host.start(at(0.0));
+
+    int idle_timers = 0;
+    for (const auto& [key, deadline] : timers.armed)
+        if (key.id.kind == TimerKind::kIdle) ++idle_timers;
+    EXPECT_EQ(idle_timers, 2);
+}
+
+TEST(ProtocolHost, TimerDispatchReachesTheRightCore) {
+    FakeNetwork network;
+    FakeTimers timers;
+    ProtocolHost host{network, timers};
+
+    SenderConfig config;
+    config.self = kSource;
+    config.group = kGroup;
+    config.primary_logger = kPrimary;
+    config.stat_ack.enabled = false;
+    SenderCore& sender = host.add_sender(config);
+    host.start(at(0.0));
+
+    host.on_timer(at(0.25), 0, {TimerKind::kHeartbeat, 0});
+    EXPECT_EQ(sender.heartbeats_sent(), 1u);
+    EXPECT_EQ(network.count(PacketType::kHeartbeat), 1u);
+
+    // A timer for an unknown tag is ignored.
+    host.on_timer(at(0.5), 99, {TimerKind::kHeartbeat, 0});
+    EXPECT_EQ(sender.heartbeats_sent(), 1u);
+}
+
+TEST(ProtocolHost, DatagramPathDecodesAndDrops) {
+    FakeNetwork network;
+    FakeTimers timers;
+    ProtocolHost host{network, timers};
+
+    ReceiverConfig config;
+    config.self = kReceiver;
+    config.group = kGroup;
+    config.source = kSource;
+    config.logger = kPrimary;
+    std::vector<SeqNum> delivered;
+    AppHandlers handlers;
+    handlers.on_data = [&](TimePoint, const DeliverData& d) { delivered.push_back(d.seq); };
+    host.add_receiver(config, handlers);
+    host.start(at(0.0));
+
+    Packet data{Header{kGroup, kSource, kSource},
+                DataBody{SeqNum{1}, EpochId{0}, payload(8)}};
+    const auto wire = encode(data);
+    host.on_datagram(at(1.0), wire);
+    EXPECT_EQ(delivered.size(), 1u);
+
+    // Garbage is silently ignored.
+    const std::vector<std::uint8_t> junk{0x00, 0x01, 0x02};
+    host.on_datagram(at(1.1), junk);
+    EXPECT_EQ(delivered.size(), 1u);
+}
+
+/// Minimal generic core: counts starts, echoes a heartbeat on any packet.
+class EchoCore final : public CoreBase {
+public:
+    int started = 0;
+    int packets = 0;
+    int timers = 0;
+
+    Actions start(TimePoint) override {
+        ++started;
+        return {};
+    }
+    Actions on_packet(TimePoint, const Packet& packet) override {
+        ++packets;
+        Actions actions;
+        actions.push_back(SendMulticast{
+            Packet{packet.header, HeartbeatBody{SeqNum{0}, 0}}});
+        return actions;
+    }
+    Actions on_timer(TimePoint, TimerId) override {
+        ++timers;
+        return {};
+    }
+};
+
+TEST(ProtocolHost, GenericCoreAttachAndInject) {
+    FakeNetwork network;
+    FakeTimers timers;
+    ProtocolHost host{network, timers};
+
+    auto owned = std::make_unique<EchoCore>();
+    EchoCore* echo = owned.get();
+    CoreBase& attached = host.add_core(std::move(owned));
+    EXPECT_EQ(&attached, echo);
+    EXPECT_EQ(host.core_count(), 1u);
+
+    host.start(at(0.0));
+    EXPECT_EQ(echo->started, 1);
+
+    Packet data{Header{kGroup, kSource, kSource},
+                DataBody{SeqNum{1}, EpochId{0}, payload(4)}};
+    host.on_packet(at(1.0), data);
+    EXPECT_EQ(echo->packets, 1);
+    EXPECT_EQ(network.count(PacketType::kHeartbeat), 1u);
+
+    // inject() executes externally produced actions under the core's tag.
+    Actions extra;
+    extra.push_back(StartTimer{{TimerKind::kHeartbeat, 7}, at(9.0)});
+    extra.push_back(JoinGroup{GroupId{42}});
+    host.inject(at(2.0), *echo, std::move(extra));
+    EXPECT_EQ(timers.armed.size(), 1u);
+    ASSERT_EQ(network.joined.size(), 1u);
+    EXPECT_EQ(network.joined[0], GroupId{42});
+
+    // The injected timer dispatches back into the generic core.
+    const auto key = timers.armed.begin()->first;
+    host.on_timer(at(9.0), key.tag, key.id);
+    EXPECT_EQ(echo->timers, 1);
+}
+
+TEST(ProtocolHost, InjectForUnknownCoreIsIgnored) {
+    FakeNetwork network;
+    FakeTimers timers;
+    ProtocolHost host{network, timers};
+    EchoCore stray;  // never attached
+    Actions actions;
+    actions.push_back(JoinGroup{GroupId{1}});
+    host.inject(at(0.0), stray, std::move(actions));
+    EXPECT_TRUE(network.joined.empty());
+}
+
+TEST(ProtocolHost, JoinLeaveActionsReachTheDriver) {
+    FakeNetwork network;
+    FakeTimers timers;
+    ProtocolHost host{network, timers};
+
+    ReceiverConfig config;
+    config.self = kReceiver;
+    config.group = kGroup;
+    config.source = kSource;
+    config.logger = kPrimary;
+    config.retrans_channel = GroupId{2};
+    host.add_receiver(config);
+    host.start(at(0.0));
+
+    // Loss on the stream triggers a JoinGroup of the retrans channel.
+    Packet d1{Header{kGroup, kSource, kSource}, DataBody{SeqNum{1}, EpochId{0}, payload(4)}};
+    Packet d3{Header{kGroup, kSource, kSource}, DataBody{SeqNum{3}, EpochId{0}, payload(4)}};
+    host.on_packet(at(1.0), d1);
+    host.on_packet(at(1.1), d3);
+    ASSERT_EQ(network.joined.size(), 1u);
+    EXPECT_EQ(network.joined[0], GroupId{2});
+}
+
+}  // namespace
+}  // namespace lbrm

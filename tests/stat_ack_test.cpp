@@ -1,0 +1,248 @@
+// Statistical-acknowledgement engine tests (Section 2.3): epoch lifecycle,
+// designated-acker accounting, the multicast-vs-unicast retransmission
+// decision, t_wait adaptation and the faulty-acker hotlist.
+#include <gtest/gtest.h>
+
+#include "core/stat_ack.hpp"
+#include "tests/test_util.hpp"
+
+namespace lbrm {
+namespace {
+
+using test::at;
+using test::count_sent;
+using test::find_timer;
+using test::sent_of_type;
+
+constexpr NodeId kSelf{1};
+constexpr GroupId kGroup{9};
+
+Packet from_logger(NodeId logger, Body body) {
+    return Packet{Header{kGroup, kSelf, logger}, std::move(body)};
+}
+
+StatAckConfig test_config(std::uint32_t k = 3) {
+    StatAckConfig c;
+    c.enabled = true;
+    c.k = k;
+    c.initial_t_wait = millis(100);
+    c.epoch_interval = secs(30);
+    c.remulticast_site_threshold = 2.0;
+    return c;
+}
+
+/// Drive an engine through epoch setup with `volunteers` responding loggers.
+/// Returns the time right after the epoch-open window closed.
+TimePoint open_epoch(StatAckEngine& engine, std::vector<NodeId> volunteers,
+                     TimePoint start = at(0.0)) {
+    auto result = engine.start(start);
+    // start() with a static size goes straight to AckerSelection.
+    EXPECT_EQ(count_sent(result.actions, PacketType::kAckerSelection), 1u);
+    const auto sel = sent_of_type(result.actions, PacketType::kAckerSelection).at(0);
+    const auto& body = std::get<AckerSelectionBody>(sel.packet.body);
+
+    TimePoint t = start + millis(10);
+    for (NodeId v : volunteers)
+        engine.on_packet(t, from_logger(v, AckerResponseBody{body.epoch}));
+
+    const auto window = find_timer(result.actions, TimerKind::kEpochOpen);
+    EXPECT_TRUE(window.has_value());
+    engine.on_timer(window->deadline, {TimerKind::kEpochOpen, 0});
+    return window->deadline;
+}
+
+TEST(StatAck, EpochOpensWithPackComputedFromGroupSize) {
+    StatAckEngine engine{kSelf, kGroup, test_config(10)};
+    engine.set_group_size(100.0);
+    auto result = engine.start(at(0.0));
+    const auto sel = sent_of_type(result.actions, PacketType::kAckerSelection);
+    ASSERT_EQ(sel.size(), 1u);
+    const auto& body = std::get<AckerSelectionBody>(sel[0].packet.body);
+    EXPECT_NEAR(body.p_ack, 0.1, 1e-9);  // k / N_sl = 10 / 100
+}
+
+TEST(StatAck, ExpectedAcksEqualsVolunteerCount) {
+    StatAckEngine engine{kSelf, kGroup, test_config()};
+    engine.set_group_size(50.0);
+    open_epoch(engine, {NodeId{10}, NodeId{11}, NodeId{12}});
+    EXPECT_EQ(engine.expected_acks(), 3u);
+}
+
+TEST(StatAck, AllAcksNoRemulticast) {
+    StatAckEngine engine{kSelf, kGroup, test_config()};
+    engine.set_group_size(50.0);
+    const TimePoint t0 = open_epoch(engine, {NodeId{10}, NodeId{11}, NodeId{12}});
+
+    auto sent = engine.on_data_sent(t0 + millis(1), SeqNum{1});
+    ASSERT_TRUE(find_timer(sent.actions, TimerKind::kAckWait).has_value());
+
+    // All three designated ackers acknowledge promptly.
+    for (std::uint32_t node : {10u, 11u, 12u}) {
+        auto r = engine.on_packet(t0 + millis(20),
+                                  from_logger(NodeId{node},
+                                              AckBody{engine.current_epoch(), SeqNum{1}}));
+        EXPECT_TRUE(r.remulticast.empty());
+    }
+    // Completing all ACKs cancels the wait timer.
+    EXPECT_EQ(engine.remulticast_decisions(), 0u);
+}
+
+TEST(StatAck, MissingAcksTriggerRemulticast) {
+    StatAckEngine engine{kSelf, kGroup, test_config()};
+    engine.set_group_size(500.0);  // each acker represents ~167 sites
+    const TimePoint t0 = open_epoch(engine, {NodeId{10}, NodeId{11}, NodeId{12}});
+
+    auto sent = engine.on_data_sent(t0 + millis(1), SeqNum{1});
+    const auto wait = find_timer(sent.actions, TimerKind::kAckWait);
+    ASSERT_TRUE(wait.has_value());
+
+    // Only one ACK arrives; two missing ackers represent ~333 sites >> 2.
+    engine.on_packet(t0 + millis(20),
+                     from_logger(NodeId{10}, AckBody{engine.current_epoch(), SeqNum{1}}));
+    auto decision = engine.on_timer(wait->deadline, wait->id);
+    ASSERT_EQ(decision.remulticast.size(), 1u);
+    EXPECT_EQ(decision.remulticast[0], SeqNum{1});
+    EXPECT_EQ(engine.remulticast_decisions(), 1u);
+}
+
+TEST(StatAck, SmallLossBelowThresholdWaitsForNacks) {
+    StatAckConfig c = test_config(10);
+    c.remulticast_site_threshold = 5.0;
+    StatAckEngine engine{kSelf, kGroup, c};
+    engine.set_group_size(10.0);  // 10 loggers, 10 volunteers: 1 site each
+    std::vector<NodeId> volunteers;
+    for (std::uint32_t i = 0; i < 10; ++i) volunteers.push_back(NodeId{100 + i});
+    const TimePoint t0 = open_epoch(engine, volunteers);
+
+    auto sent = engine.on_data_sent(t0 + millis(1), SeqNum{1});
+    const auto wait = find_timer(sent.actions, TimerKind::kAckWait);
+
+    // 9 of 10 ack: one missing acker represents 1 site < threshold 5.
+    for (std::uint32_t i = 0; i < 9; ++i)
+        engine.on_packet(t0 + millis(20),
+                         from_logger(NodeId{100 + i},
+                                     AckBody{engine.current_epoch(), SeqNum{1}}));
+    auto decision = engine.on_timer(wait->deadline, wait->id);
+    EXPECT_TRUE(decision.remulticast.empty());
+}
+
+TEST(StatAck, RemulticastBudgetIsBounded) {
+    StatAckConfig c = test_config();
+    c.max_remulticasts = 2;
+    StatAckEngine engine{kSelf, kGroup, c};
+    engine.set_group_size(500.0);
+    const TimePoint t0 = open_epoch(engine, {NodeId{10}, NodeId{11}});
+
+    auto sent = engine.on_data_sent(t0 + millis(1), SeqNum{1});
+    auto wait = find_timer(sent.actions, TimerKind::kAckWait);
+    std::size_t remulticasts = 0;
+    TimePoint t = wait->deadline;
+    // Nobody ever ACKs; the engine may re-multicast at most max_remulticasts
+    // times, then gives up on the packet.
+    for (int i = 0; i < 10; ++i) {
+        auto r = engine.on_timer(t, {TimerKind::kAckWait, 1});
+        remulticasts += r.remulticast.size();
+        t = t + engine.t_wait();
+    }
+    EXPECT_EQ(remulticasts, 2u);
+}
+
+TEST(StatAck, TWaitAdaptsTowardAckLatency) {
+    StatAckEngine engine{kSelf, kGroup, test_config()};
+    engine.set_group_size(50.0);
+    TimePoint t = open_epoch(engine, {NodeId{10}});
+
+    const Duration initial = engine.t_wait();
+    // Many packets whose single ACK arrives after 20 ms: t_wait EWMAs toward
+    // 20 ms (alpha = 1/8).
+    for (std::uint32_t s = 1; s <= 60; ++s) {
+        t = t + millis(50);
+        auto sent = engine.on_data_sent(t, SeqNum{s});
+        engine.on_packet(t + millis(20),
+                         from_logger(NodeId{10}, AckBody{engine.current_epoch(), SeqNum{s}}));
+    }
+    EXPECT_LT(engine.t_wait(), initial);
+    EXPECT_NEAR(to_seconds(engine.t_wait()), 0.020, 0.010);
+}
+
+TEST(StatAck, SpuriousAckersGetBlacklisted) {
+    StatAckConfig c = test_config();
+    c.faulty_acker_limit = 3;
+    StatAckEngine engine{kSelf, kGroup, c};
+    engine.set_group_size(50.0);
+    const TimePoint t0 = open_epoch(engine, {NodeId{10}});
+
+    engine.on_data_sent(t0 + millis(1), SeqNum{1});
+    // Node 66 was never designated yet ACKs everything (faulty logger).
+    for (int i = 0; i < 3; ++i)
+        engine.on_packet(t0 + millis(5),
+                         from_logger(NodeId{66}, AckBody{engine.current_epoch(), SeqNum{1}}));
+    EXPECT_EQ(engine.blacklisted_count(), 1u);
+}
+
+TEST(StatAck, ProbingPhaseEmitsProbesThenFirstEpoch) {
+    StatAckConfig c = test_config();
+    c.initial_probe_p = 0.5;
+    c.probe_target_replies = 2;
+    c.probe_repeats = 1;
+    StatAckEngine engine{kSelf, kGroup, c};
+    // No set_group_size: engine must probe first.
+    auto result = engine.start(at(0.0));
+    ASSERT_EQ(count_sent(result.actions, PacketType::kProbeRequest), 1u);
+    const auto probe = sent_of_type(result.actions, PacketType::kProbeRequest)[0];
+    const auto& body = std::get<ProbeRequestBody>(probe.packet.body);
+
+    // Two replies satisfy the round; the next timer closes probing and the
+    // engine immediately opens the first epoch.
+    engine.on_packet(at(0.01), from_logger(NodeId{20}, ProbeReplyBody{body.round}));
+    engine.on_packet(at(0.01), from_logger(NodeId{21}, ProbeReplyBody{body.round}));
+    const auto window = find_timer(result.actions, TimerKind::kProbeRound);
+    auto next = engine.on_timer(window->deadline, window->id);
+    EXPECT_EQ(count_sent(next.actions, PacketType::kAckerSelection), 1u);
+    EXPECT_FALSE(engine.probing());
+}
+
+TEST(StatAck, EpochRotationStartsNewSelection) {
+    StatAckEngine engine{kSelf, kGroup, test_config()};
+    engine.set_group_size(50.0);
+    open_epoch(engine, {NodeId{10}});
+    auto rotation = engine.on_timer(at(30.0), {TimerKind::kEpochRotate, 0});
+    EXPECT_EQ(count_sent(rotation.actions, PacketType::kAckerSelection), 1u);
+    const auto sel = sent_of_type(rotation.actions, PacketType::kAckerSelection)[0];
+    EXPECT_EQ(std::get<AckerSelectionBody>(sel.packet.body).epoch, EpochId{2});
+}
+
+TEST(StatAck, AcksFromPreviousEpochOverlapAreAccepted) {
+    StatAckEngine engine{kSelf, kGroup, test_config()};
+    engine.set_group_size(500.0);
+    const TimePoint t0 = open_epoch(engine, {NodeId{10}, NodeId{11}});
+
+    // Data sent in epoch 1.
+    auto sent = engine.on_data_sent(t0 + millis(1), SeqNum{1});
+    const auto wait = find_timer(sent.actions, TimerKind::kAckWait);
+
+    // Epoch rotates before the ACKs arrive.
+    auto rotation = engine.on_timer(t0 + millis(5), {TimerKind::kEpochRotate, 0});
+    ASSERT_EQ(count_sent(rotation.actions, PacketType::kAckerSelection), 1u);
+
+    // Old designated ackers answer for the epoch-1 packet: still counted.
+    engine.on_packet(t0 + millis(10),
+                     from_logger(NodeId{10}, AckBody{EpochId{1}, SeqNum{1}}));
+    engine.on_packet(t0 + millis(10),
+                     from_logger(NodeId{11}, AckBody{EpochId{1}, SeqNum{1}}));
+    auto decision = engine.on_timer(wait->deadline, wait->id);
+    EXPECT_TRUE(decision.remulticast.empty());
+    EXPECT_EQ(engine.blacklisted_count(), 0u);
+}
+
+TEST(StatAck, DisabledEngineDoesNothingOnData) {
+    StatAckConfig c = test_config();
+    c.enabled = false;
+    StatAckEngine engine{kSelf, kGroup, c};
+    engine.set_group_size(50.0);
+    auto r = engine.on_data_sent(at(1.0), SeqNum{1});
+    EXPECT_TRUE(r.actions.empty());
+}
+
+}  // namespace
+}  // namespace lbrm
