@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_heartbeat_rates.cpp" "bench/CMakeFiles/bench_fig4_heartbeat_rates.dir/bench_fig4_heartbeat_rates.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_heartbeat_rates.dir/bench_fig4_heartbeat_rates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/lbrm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lbrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/lbrm_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lbrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

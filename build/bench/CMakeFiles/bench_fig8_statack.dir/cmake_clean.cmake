@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_statack.dir/bench_fig8_statack.cpp.o"
+  "CMakeFiles/bench_fig8_statack.dir/bench_fig8_statack.cpp.o.d"
+  "bench_fig8_statack"
+  "bench_fig8_statack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_statack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

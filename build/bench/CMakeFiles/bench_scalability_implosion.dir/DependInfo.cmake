@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_scalability_implosion.cpp" "bench/CMakeFiles/bench_scalability_implosion.dir/bench_scalability_implosion.cpp.o" "gcc" "bench/CMakeFiles/bench_scalability_implosion.dir/bench_scalability_implosion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lbrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lbrm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/lbrm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lbrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/lbrm_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lbrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

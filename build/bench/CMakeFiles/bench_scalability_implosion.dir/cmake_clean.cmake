@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_implosion.dir/bench_scalability_implosion.cpp.o"
+  "CMakeFiles/bench_scalability_implosion.dir/bench_scalability_implosion.cpp.o.d"
+  "bench_scalability_implosion"
+  "bench_scalability_implosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_implosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

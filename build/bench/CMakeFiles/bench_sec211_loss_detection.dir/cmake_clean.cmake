@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec211_loss_detection.dir/bench_sec211_loss_detection.cpp.o"
+  "CMakeFiles/bench_sec211_loss_detection.dir/bench_sec211_loss_detection.cpp.o.d"
+  "bench_sec211_loss_detection"
+  "bench_sec211_loss_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec211_loss_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

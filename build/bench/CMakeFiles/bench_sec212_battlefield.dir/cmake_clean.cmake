@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec212_battlefield.dir/bench_sec212_battlefield.cpp.o"
+  "CMakeFiles/bench_sec212_battlefield.dir/bench_sec212_battlefield.cpp.o.d"
+  "bench_sec212_battlefield"
+  "bench_sec212_battlefield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec212_battlefield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec212_battlefield.
+# This may be replaced when dependencies are built.

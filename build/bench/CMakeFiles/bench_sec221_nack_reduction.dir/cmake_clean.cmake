@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec221_nack_reduction.dir/bench_sec221_nack_reduction.cpp.o"
+  "CMakeFiles/bench_sec221_nack_reduction.dir/bench_sec221_nack_reduction.cpp.o.d"
+  "bench_sec221_nack_reduction"
+  "bench_sec221_nack_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec221_nack_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_wb_comparison.dir/bench_sec6_wb_comparison.cpp.o"
+  "CMakeFiles/bench_sec6_wb_comparison.dir/bench_sec6_wb_comparison.cpp.o.d"
+  "bench_sec6_wb_comparison"
+  "bench_sec6_wb_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_wb_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

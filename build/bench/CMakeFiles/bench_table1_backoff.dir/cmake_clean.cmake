@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_backoff.dir/bench_table1_backoff.cpp.o"
+  "CMakeFiles/bench_table1_backoff.dir/bench_table1_backoff.cpp.o.d"
+  "bench_table1_backoff"
+  "bench_table1_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

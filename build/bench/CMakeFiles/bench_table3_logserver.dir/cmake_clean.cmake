@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_logserver.dir/bench_table3_logserver.cpp.o"
+  "CMakeFiles/bench_table3_logserver.dir/bench_table3_logserver.cpp.o.d"
+  "bench_table3_logserver"
+  "bench_table3_logserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_logserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dis_terrain.dir/dis_terrain.cpp.o"
+  "CMakeFiles/dis_terrain.dir/dis_terrain.cpp.o.d"
+  "dis_terrain"
+  "dis_terrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dis_terrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factory_monitor.dir/factory_monitor.cpp.o"
+  "CMakeFiles/factory_monitor.dir/factory_monitor.cpp.o.d"
+  "factory_monitor"
+  "factory_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factory_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbrm_node.dir/lbrm_node.cpp.o"
+  "CMakeFiles/lbrm_node.dir/lbrm_node.cpp.o.d"
+  "lbrm_node"
+  "lbrm_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbrm_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

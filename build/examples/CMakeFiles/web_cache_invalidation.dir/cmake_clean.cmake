@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_cache_invalidation.dir/web_cache_invalidation.cpp.o"
+  "CMakeFiles/web_cache_invalidation.dir/web_cache_invalidation.cpp.o.d"
+  "web_cache_invalidation"
+  "web_cache_invalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_cache_invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbrm_analysis.dir/estimator_math.cpp.o"
+  "CMakeFiles/lbrm_analysis.dir/estimator_math.cpp.o.d"
+  "CMakeFiles/lbrm_analysis.dir/heartbeat_math.cpp.o"
+  "CMakeFiles/lbrm_analysis.dir/heartbeat_math.cpp.o.d"
+  "liblbrm_analysis.a"
+  "liblbrm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbrm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbrm_apps.dir/html_invalidation.cpp.o"
+  "CMakeFiles/lbrm_apps.dir/html_invalidation.cpp.o.d"
+  "liblbrm_apps.a"
+  "liblbrm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbrm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

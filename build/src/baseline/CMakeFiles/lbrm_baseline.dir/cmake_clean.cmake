@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbrm_baseline.dir/ack_protocol.cpp.o"
+  "CMakeFiles/lbrm_baseline.dir/ack_protocol.cpp.o.d"
+  "CMakeFiles/lbrm_baseline.dir/srm.cpp.o"
+  "CMakeFiles/lbrm_baseline.dir/srm.cpp.o.d"
+  "liblbrm_baseline.a"
+  "liblbrm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbrm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbrm_common.dir/bytes.cpp.o"
+  "CMakeFiles/lbrm_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/lbrm_common.dir/log.cpp.o"
+  "CMakeFiles/lbrm_common.dir/log.cpp.o.d"
+  "CMakeFiles/lbrm_common.dir/stats.cpp.o"
+  "CMakeFiles/lbrm_common.dir/stats.cpp.o.d"
+  "liblbrm_common.a"
+  "liblbrm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbrm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

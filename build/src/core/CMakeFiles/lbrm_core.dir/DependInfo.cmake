@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/group_estimate.cpp" "src/core/CMakeFiles/lbrm_core.dir/group_estimate.cpp.o" "gcc" "src/core/CMakeFiles/lbrm_core.dir/group_estimate.cpp.o.d"
+  "/root/repo/src/core/log_store.cpp" "src/core/CMakeFiles/lbrm_core.dir/log_store.cpp.o" "gcc" "src/core/CMakeFiles/lbrm_core.dir/log_store.cpp.o.d"
+  "/root/repo/src/core/logger.cpp" "src/core/CMakeFiles/lbrm_core.dir/logger.cpp.o" "gcc" "src/core/CMakeFiles/lbrm_core.dir/logger.cpp.o.d"
+  "/root/repo/src/core/loss_detector.cpp" "src/core/CMakeFiles/lbrm_core.dir/loss_detector.cpp.o" "gcc" "src/core/CMakeFiles/lbrm_core.dir/loss_detector.cpp.o.d"
+  "/root/repo/src/core/receiver.cpp" "src/core/CMakeFiles/lbrm_core.dir/receiver.cpp.o" "gcc" "src/core/CMakeFiles/lbrm_core.dir/receiver.cpp.o.d"
+  "/root/repo/src/core/sender.cpp" "src/core/CMakeFiles/lbrm_core.dir/sender.cpp.o" "gcc" "src/core/CMakeFiles/lbrm_core.dir/sender.cpp.o.d"
+  "/root/repo/src/core/stat_ack.cpp" "src/core/CMakeFiles/lbrm_core.dir/stat_ack.cpp.o" "gcc" "src/core/CMakeFiles/lbrm_core.dir/stat_ack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/packet/CMakeFiles/lbrm_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lbrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbrm_core.dir/group_estimate.cpp.o"
+  "CMakeFiles/lbrm_core.dir/group_estimate.cpp.o.d"
+  "CMakeFiles/lbrm_core.dir/log_store.cpp.o"
+  "CMakeFiles/lbrm_core.dir/log_store.cpp.o.d"
+  "CMakeFiles/lbrm_core.dir/logger.cpp.o"
+  "CMakeFiles/lbrm_core.dir/logger.cpp.o.d"
+  "CMakeFiles/lbrm_core.dir/loss_detector.cpp.o"
+  "CMakeFiles/lbrm_core.dir/loss_detector.cpp.o.d"
+  "CMakeFiles/lbrm_core.dir/receiver.cpp.o"
+  "CMakeFiles/lbrm_core.dir/receiver.cpp.o.d"
+  "CMakeFiles/lbrm_core.dir/sender.cpp.o"
+  "CMakeFiles/lbrm_core.dir/sender.cpp.o.d"
+  "CMakeFiles/lbrm_core.dir/stat_ack.cpp.o"
+  "CMakeFiles/lbrm_core.dir/stat_ack.cpp.o.d"
+  "liblbrm_core.a"
+  "liblbrm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbrm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

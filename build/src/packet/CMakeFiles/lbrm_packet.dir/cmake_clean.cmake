@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbrm_packet.dir/packet.cpp.o"
+  "CMakeFiles/lbrm_packet.dir/packet.cpp.o.d"
+  "liblbrm_packet.a"
+  "liblbrm_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbrm_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

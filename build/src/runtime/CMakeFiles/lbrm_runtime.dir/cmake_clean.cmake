@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbrm_runtime.dir/protocol_host.cpp.o"
+  "CMakeFiles/lbrm_runtime.dir/protocol_host.cpp.o.d"
+  "liblbrm_runtime.a"
+  "liblbrm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbrm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

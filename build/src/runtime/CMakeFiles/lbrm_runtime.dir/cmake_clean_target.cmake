@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblbrm_runtime.a"
+)

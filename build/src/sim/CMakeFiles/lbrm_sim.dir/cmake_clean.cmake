@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbrm_sim.dir/network.cpp.o"
+  "CMakeFiles/lbrm_sim.dir/network.cpp.o.d"
+  "CMakeFiles/lbrm_sim.dir/scenario.cpp.o"
+  "CMakeFiles/lbrm_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/lbrm_sim.dir/sim_host.cpp.o"
+  "CMakeFiles/lbrm_sim.dir/sim_host.cpp.o.d"
+  "CMakeFiles/lbrm_sim.dir/topology.cpp.o"
+  "CMakeFiles/lbrm_sim.dir/topology.cpp.o.d"
+  "liblbrm_sim.a"
+  "liblbrm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbrm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/reactor.cpp" "src/transport/CMakeFiles/lbrm_transport.dir/reactor.cpp.o" "gcc" "src/transport/CMakeFiles/lbrm_transport.dir/reactor.cpp.o.d"
+  "/root/repo/src/transport/udp_endpoint.cpp" "src/transport/CMakeFiles/lbrm_transport.dir/udp_endpoint.cpp.o" "gcc" "src/transport/CMakeFiles/lbrm_transport.dir/udp_endpoint.cpp.o.d"
+  "/root/repo/src/transport/udp_socket.cpp" "src/transport/CMakeFiles/lbrm_transport.dir/udp_socket.cpp.o" "gcc" "src/transport/CMakeFiles/lbrm_transport.dir/udp_socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/lbrm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lbrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/lbrm_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lbrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

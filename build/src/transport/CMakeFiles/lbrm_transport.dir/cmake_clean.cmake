@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbrm_transport.dir/reactor.cpp.o"
+  "CMakeFiles/lbrm_transport.dir/reactor.cpp.o.d"
+  "CMakeFiles/lbrm_transport.dir/udp_endpoint.cpp.o"
+  "CMakeFiles/lbrm_transport.dir/udp_endpoint.cpp.o.d"
+  "CMakeFiles/lbrm_transport.dir/udp_socket.cpp.o"
+  "CMakeFiles/lbrm_transport.dir/udp_socket.cpp.o.d"
+  "liblbrm_transport.a"
+  "liblbrm_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbrm_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

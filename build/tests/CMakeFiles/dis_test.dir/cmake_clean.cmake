@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dis_test.dir/dis_test.cpp.o"
+  "CMakeFiles/dis_test.dir/dis_test.cpp.o.d"
+  "dis_test"
+  "dis_test.pdb"
+  "dis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

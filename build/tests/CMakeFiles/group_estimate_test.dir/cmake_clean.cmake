@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_estimate_test.dir/group_estimate_test.cpp.o"
+  "CMakeFiles/group_estimate_test.dir/group_estimate_test.cpp.o.d"
+  "group_estimate_test"
+  "group_estimate_test.pdb"
+  "group_estimate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_estimate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

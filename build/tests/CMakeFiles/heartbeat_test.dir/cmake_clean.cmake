@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heartbeat_test.dir/heartbeat_test.cpp.o"
+  "CMakeFiles/heartbeat_test.dir/heartbeat_test.cpp.o.d"
+  "heartbeat_test"
+  "heartbeat_test.pdb"
+  "heartbeat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heartbeat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_invalidation_test.dir/html_invalidation_test.cpp.o"
+  "CMakeFiles/html_invalidation_test.dir/html_invalidation_test.cpp.o.d"
+  "html_invalidation_test"
+  "html_invalidation_test.pdb"
+  "html_invalidation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_invalidation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_basic_test.dir/integration_basic_test.cpp.o"
+  "CMakeFiles/integration_basic_test.dir/integration_basic_test.cpp.o.d"
+  "integration_basic_test"
+  "integration_basic_test.pdb"
+  "integration_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_failover_test.dir/integration_failover_test.cpp.o"
+  "CMakeFiles/integration_failover_test.dir/integration_failover_test.cpp.o.d"
+  "integration_failover_test"
+  "integration_failover_test.pdb"
+  "integration_failover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_failover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_hardening_test.dir/integration_hardening_test.cpp.o"
+  "CMakeFiles/integration_hardening_test.dir/integration_hardening_test.cpp.o.d"
+  "integration_hardening_test"
+  "integration_hardening_test.pdb"
+  "integration_hardening_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_hardening_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_statack_test.dir/integration_statack_test.cpp.o"
+  "CMakeFiles/integration_statack_test.dir/integration_statack_test.cpp.o.d"
+  "integration_statack_test"
+  "integration_statack_test.pdb"
+  "integration_statack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_statack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

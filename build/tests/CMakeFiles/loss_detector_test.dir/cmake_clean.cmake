@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loss_detector_test.dir/loss_detector_test.cpp.o"
+  "CMakeFiles/loss_detector_test.dir/loss_detector_test.cpp.o.d"
+  "loss_detector_test"
+  "loss_detector_test.pdb"
+  "loss_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loss_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

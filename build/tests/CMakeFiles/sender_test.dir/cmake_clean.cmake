@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sender_test.dir/sender_test.cpp.o"
+  "CMakeFiles/sender_test.dir/sender_test.cpp.o.d"
+  "sender_test"
+  "sender_test.pdb"
+  "sender_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

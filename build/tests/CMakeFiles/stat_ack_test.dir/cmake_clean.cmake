@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_ack_test.dir/stat_ack_test.cpp.o"
+  "CMakeFiles/stat_ack_test.dir/stat_ack_test.cpp.o.d"
+  "stat_ack_test"
+  "stat_ack_test.pdb"
+  "stat_ack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_ack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

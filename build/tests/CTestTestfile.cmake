@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/packet_test[1]_include.cmake")
+include("/root/repo/build/tests/heartbeat_test[1]_include.cmake")
+include("/root/repo/build/tests/loss_detector_test[1]_include.cmake")
+include("/root/repo/build/tests/log_store_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/group_estimate_test[1]_include.cmake")
+include("/root/repo/build/tests/stat_ack_test[1]_include.cmake")
+include("/root/repo/build/tests/sender_test[1]_include.cmake")
+include("/root/repo/build/tests/receiver_test[1]_include.cmake")
+include("/root/repo/build/tests/logger_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_statack_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_failover_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/udp_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/property_convergence_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_control_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_group_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/dis_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/html_invalidation_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_hardening_test[1]_include.cmake")
