@@ -1,0 +1,128 @@
+// Simulator-core throughput bench (perf trajectory, not a paper artifact).
+//
+// Drives the raw simulation substrate -- multicast tree construction, link
+// transmission, event queue -- with the protocol stack removed, on the
+// ISSUE-1 reference scenario: 20 sites x 50 receivers = 1,000 receivers
+// behind tail circuits.  Reports wall-clock events/sec and delivered
+// data-packets/sec, both to stdout and as machine-readable JSON
+// (BENCH_simcore.json) so the numbers can be compared across PRs.
+//
+// Usage:
+//   bench_simcore_throughput [--json PATH] [--timestamp ISO8601]
+//                            [--baseline-pps N] [--packets N]
+//
+// --baseline-pps records a previously measured pre-change number alongside
+// the current run (the ISSUE-1 acceptance criterion wants both in one file).
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "sim/network.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+using namespace lbrm;
+using namespace lbrm::bench;
+using namespace lbrm::sim;
+
+struct RunResult {
+    double wall_seconds = 0.0;
+    std::uint64_t events = 0;
+    std::uint64_t delivered = 0;
+};
+
+/// Multicast `packets` data packets from the source to a 1,000-receiver
+/// group and drain the network.  Delivered = data copies arriving on the
+/// receivers' LAN links (one per member per send when nothing drops).
+RunResult run_multicast(std::uint64_t packets) {
+    Simulator simulator;
+    Network net{simulator, 42};
+    DisTopologySpec spec;
+    spec.sites = 20;
+    spec.receivers_per_site = 50;
+    const DisTopology topo = make_dis_topology(net, spec);
+    net.finalize();
+
+    const GroupId group{1};
+    for (NodeId r : topo.all_receivers()) net.join(group, r);
+
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < packets; ++i) {
+        net.multicast(topo.source,
+                      Packet{Header{group, topo.source, topo.source},
+                             DataBody{SeqNum{static_cast<std::uint32_t>(i + 1)},
+                                      EpochId{0},
+                                      std::vector<std::uint8_t>(128, 0xAB)}},
+                      McastScope::kGlobal);
+        // Space sends 10 ms apart so tail-circuit queues drain between
+        // rounds (we are measuring simulator overhead, not drop-tail).
+        simulator.run_for(millis(10));
+    }
+    simulator.run_for(secs(1.0));
+    const auto stop = std::chrono::steady_clock::now();
+
+    RunResult out;
+    out.wall_seconds = std::chrono::duration<double>(stop - start).count();
+    out.events = simulator.events_processed();
+    for (const auto& site : topo.sites)
+        for (NodeId r : site.receivers)
+            out.delivered += net.link(site.router, r)->stats().packets_of(PacketType::kData);
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string json_path = "BENCH_simcore.json";
+    std::string timestamp = "unspecified";
+    double baseline_pps = 0.0;
+    std::uint64_t packets = 500;
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::printf("missing value for %s\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--json") == 0) json_path = next("--json");
+        else if (std::strcmp(argv[i], "--timestamp") == 0) timestamp = next("--timestamp");
+        else if (std::strcmp(argv[i], "--baseline-pps") == 0)
+            baseline_pps = std::atof(next("--baseline-pps"));
+        else if (std::strcmp(argv[i], "--packets") == 0)
+            packets = static_cast<std::uint64_t>(std::atoll(next("--packets")));
+    }
+
+    title("Simulator-core throughput: 20 sites x 50 receivers, global multicast");
+
+    // Warm-up run (touches allocator, page cache) then the measured run.
+    run_multicast(packets / 10 + 1);
+    const RunResult r = run_multicast(packets);
+
+    const double events_per_sec = static_cast<double>(r.events) / r.wall_seconds;
+    const double delivered_pps = static_cast<double>(r.delivered) / r.wall_seconds;
+
+    Table table({"packets", "delivered", "events", "wall s", "events/s", "delivered/s"});
+    table.row({fmt_int(packets), fmt_int(r.delivered), fmt_int(r.events),
+               fmt(r.wall_seconds, 3), fmt(events_per_sec, 0), fmt(delivered_pps, 0)});
+
+    std::vector<JsonMetric> metrics{
+        {"simcore_multicast_20x50", "events_per_sec", events_per_sec, timestamp},
+        {"simcore_multicast_20x50", "delivered_packets_per_sec", delivered_pps, timestamp},
+    };
+    if (baseline_pps > 0.0) {
+        metrics.push_back({"simcore_multicast_20x50",
+                           "delivered_packets_per_sec_baseline", baseline_pps, timestamp});
+        note("");
+        note("speedup vs baseline: " + fmt(delivered_pps / baseline_pps, 2) + "x");
+    }
+    write_bench_json(json_path, metrics);
+
+    note("");
+    note("JSON written to " + json_path);
+    for (const auto& m : metrics) note(json_metric_line(m));
+    return 0;
+}

@@ -49,4 +49,46 @@ inline std::string fmt_int(std::uint64_t v) {
     return buf;
 }
 
+// --- machine-readable bench output ------------------------------------------
+//
+// Perf-tracking benches (bench_simcore_throughput and future ones) record
+// their headline numbers as a JSON array so the perf trajectory can be
+// diffed across PRs.  The timestamp is passed in by the caller rather than
+// read from the clock, keeping bench output reproducible under a fixed
+// invocation.
+
+struct JsonMetric {
+    std::string name;    ///< bench / scenario identifier
+    std::string metric;  ///< what is measured, e.g. "delivered_packets_per_sec"
+    double value = 0.0;
+    std::string timestamp;  ///< ISO-8601, supplied by the invoker
+};
+
+/// Serialize one metric as a JSON object (no trailing newline).
+inline std::string json_metric_line(const JsonMetric& m) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"%s\", \"metric\": \"%s\", \"value\": %.6g, "
+                  "\"timestamp\": \"%s\"}",
+                  m.name.c_str(), m.metric.c_str(), m.value, m.timestamp.c_str());
+    return buf;
+}
+
+/// Write `metrics` to `path` as a JSON array (e.g. BENCH_simcore.json).
+/// Returns false (and prints a note) if the file cannot be opened.
+inline bool write_bench_json(const std::string& path, const std::vector<JsonMetric>& metrics) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::printf("warning: could not open %s for writing\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < metrics.size(); ++i)
+        std::fprintf(f, "  %s%s\n", json_metric_line(metrics[i]).c_str(),
+                     i + 1 < metrics.size() ? "," : "");
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+}
+
 }  // namespace lbrm::bench

@@ -94,6 +94,31 @@ void encode_body(ByteWriter& w, const PromoteReplyBody& b) {
     w.u8(b.accepted ? 1 : 0);
 }
 
+// --- per-body encoded sizes --------------------------------------------------
+//
+// Must mirror the encoders above field for field; packet_test asserts
+// encoded_size(p) == encode(p).size() for every packet type.
+
+std::size_t body_size(const DataBody& b) { return 4 + 4 + 2 + b.payload.size(); }
+std::size_t body_size(const HeartbeatBody&) { return 4 + 4; }
+std::size_t body_size(const NackBody& b) { return 2 + 4 * b.missing.size(); }
+std::size_t body_size(const RetransmissionBody& b) { return 4 + 4 + 1 + 2 + b.payload.size(); }
+std::size_t body_size(const LogStoreBody& b) { return 4 + 4 + 2 + b.payload.size(); }
+std::size_t body_size(const LogAckBody&) { return 4 + 4 + 1; }
+std::size_t body_size(const ReplicaUpdateBody& b) { return 4 + 4 + 2 + b.payload.size(); }
+std::size_t body_size(const ReplicaAckBody&) { return 4; }
+std::size_t body_size(const AckerSelectionBody&) { return 4 + 8; }
+std::size_t body_size(const AckerResponseBody&) { return 4; }
+std::size_t body_size(const AckBody&) { return 4 + 4; }
+std::size_t body_size(const ProbeRequestBody&) { return 4 + 8; }
+std::size_t body_size(const ProbeReplyBody&) { return 4; }
+std::size_t body_size(const DiscoveryQueryBody&) { return 1 + 4; }
+std::size_t body_size(const DiscoveryReplyBody&) { return 4 + 4 + 1; }
+std::size_t body_size(const PrimaryQueryBody&) { return 0; }
+std::size_t body_size(const PrimaryReplyBody&) { return 4; }
+std::size_t body_size(const PromoteRequestBody&) { return 0; }
+std::size_t body_size(const PromoteReplyBody&) { return 4 + 1; }
+
 // --- per-body decoders -----------------------------------------------------
 
 template <typename T>
@@ -330,6 +355,10 @@ std::vector<std::uint8_t> encode(const Packet& packet) {
     w.u32(packet.header.sender.value());
     std::visit([&w](const auto& b) { encode_body(w, b); }, packet.body);
     return w.take();
+}
+
+std::size_t encoded_size(const Packet& packet) {
+    return kHeaderSize + std::visit([](const auto& b) { return body_size(b); }, packet.body);
 }
 
 std::optional<Packet> decode(std::span<const std::uint8_t> datagram) {

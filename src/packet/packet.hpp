@@ -241,6 +241,12 @@ struct Packet {
 /// variable-length field exceeds its 16-bit length prefix.
 [[nodiscard]] std::vector<std::uint8_t> encode(const Packet& packet);
 
+/// Exact size of `encode(packet)` without serializing.  The simulator's
+/// links charge bandwidth per byte, so the hot send path needs the wire
+/// size but not the bytes; this avoids a serialize-and-discard allocation
+/// per packet.  Invariant (tested): encoded_size(p) == encode(p).size().
+[[nodiscard]] std::size_t encoded_size(const Packet& packet);
+
 /// Parse a datagram.  Returns std::nullopt (never throws, never reads out
 /// of bounds) for short, corrupt, wrong-magic or wrong-version input.
 [[nodiscard]] std::optional<Packet> decode(std::span<const std::uint8_t> datagram);

@@ -1,15 +1,25 @@
 // Deterministic discrete-event queue.
 //
 // Events at equal timestamps fire in insertion order (a monotonic tiebreak
-// id), which makes whole-network simulations bit-reproducible for a given
-// seed -- essential for regression tests that assert exact packet counts.
-// Cancellation is lazy: cancelled ids are skipped when they surface.
+// sequence number), which makes whole-network simulations bit-reproducible
+// for a given seed -- essential for regression tests that assert exact
+// packet counts.
+//
+// Layout is allocation-light: the heap itself is a flat binary heap of
+// small POD entries (timestamp, tiebreak, slot), while the callbacks live
+// in a slab recycled through a free list, so steady-state scheduling does
+// no per-event container allocation (std::function may still heap-allocate
+// large captures; hot-path callers keep captures within the small-buffer
+// size).
+//
+// Cancellation is O(1) and bounded: an event id encodes its slab slot plus
+// a per-slot generation counter.  Cancelling marks the slot; an id whose
+// generation no longer matches (the event already fired, or the slot was
+// recycled) is a no-op, so there is no ever-growing cancelled-id set.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/time.hpp"
@@ -21,14 +31,24 @@ public:
     using Callback = std::function<void()>;
 
     /// Enqueue `fn` to run at absolute time `at`; returns a cancellable id.
+    /// Ids are never zero, so 0 can serve as callers' "no event" sentinel.
     std::uint64_t schedule(TimePoint at, Callback fn) {
-        const std::uint64_t id = next_id_++;
-        heap_.push(Entry{at, id, std::move(fn)});
-        return id;
+        const std::uint32_t slot = acquire_slot();
+        Slot& s = slots_[slot];
+        s.fn = std::move(fn);
+        s.cancelled = false;
+        heap_.push_back(Entry{at, next_seq_++, slot});
+        sift_up(heap_.size() - 1);
+        return make_id(s.generation, slot);
     }
 
+    /// Cancel a scheduled event.  Ids of events that already fired (or were
+    /// already cancelled) are ignored; repeated cancels are harmless.
     void cancel(std::uint64_t id) {
-        if (id != 0 && id < next_id_) cancelled_.insert(id);
+        const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+        const std::uint32_t generation = static_cast<std::uint32_t>(id >> 32);
+        if (slot < slots_.size() && slots_[slot].generation == generation)
+            slots_[slot].cancelled = true;
     }
 
     [[nodiscard]] bool empty() {
@@ -39,7 +59,7 @@ public:
     /// Time of the next runnable event.  Pre: !empty().
     [[nodiscard]] TimePoint next_time() {
         purge();
-        return heap_.top().at;
+        return heap_.front().at;
     }
 
     struct Popped {
@@ -50,39 +70,106 @@ public:
     /// Pop the next runnable event.  Pre: !empty().
     Popped pop() {
         purge();
-        Popped out{heap_.top().at, std::move(heap_.top().fn)};
-        heap_.pop();
+        const Entry top = heap_.front();
+        Popped out{top.at, std::move(slots_[top.slot].fn)};
+        release_slot(top.slot);
+        pop_heap();
         return out;
     }
 
     /// Scheduled (possibly cancelled) entries still in the heap.
     [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
+    /// Callback slots ever allocated (bounded by the peak number of
+    /// simultaneously pending events, NOT by the total scheduled or
+    /// cancelled over the queue's lifetime).  Exposed for tests.
+    [[nodiscard]] std::size_t slab_slots() const { return slots_.size(); }
+
 private:
     struct Entry {
         TimePoint at;
-        std::uint64_t id;
-        mutable Callback fn;  // moved out on pop; never run twice
-    };
-    struct Later {
-        bool operator()(const Entry& a, const Entry& b) const {
-            if (a.at != b.at) return a.at > b.at;
-            return a.id > b.id;
-        }
+        std::uint64_t seq;   ///< insertion-order tiebreak for equal timestamps
+        std::uint32_t slot;  ///< index into slots_
     };
 
+    struct Slot {
+        Callback fn;
+        std::uint32_t generation = 0;  ///< bumped on release; 0 is never live
+        bool cancelled = false;
+    };
+
+    [[nodiscard]] static std::uint64_t make_id(std::uint32_t generation, std::uint32_t slot) {
+        return (static_cast<std::uint64_t>(generation) << 32) | slot;
+    }
+
+    [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) {
+        if (a.at != b.at) return a.at < b.at;
+        return a.seq < b.seq;
+    }
+
+    std::uint32_t acquire_slot() {
+        if (!free_.empty()) {
+            const std::uint32_t slot = free_.back();
+            free_.pop_back();
+            return slot;
+        }
+        slots_.emplace_back();
+        slots_.back().generation = 1;
+        return static_cast<std::uint32_t>(slots_.size() - 1);
+    }
+
+    void release_slot(std::uint32_t slot) {
+        Slot& s = slots_[slot];
+        s.fn = nullptr;
+        s.cancelled = false;
+        ++s.generation;  // invalidates any outstanding id for this slot
+        free_.push_back(slot);
+    }
+
+    /// Drop cancelled events from the top so empty()/next_time()/pop() only
+    /// ever see runnable work.
     void purge() {
-        while (!heap_.empty()) {
-            auto it = cancelled_.find(heap_.top().id);
-            if (it == cancelled_.end()) break;
-            cancelled_.erase(it);
-            heap_.pop();
+        while (!heap_.empty() && slots_[heap_.front().slot].cancelled) {
+            release_slot(heap_.front().slot);
+            pop_heap();
         }
     }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<std::uint64_t> cancelled_;
-    std::uint64_t next_id_ = 1;
+    void pop_heap() {
+        heap_.front() = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty()) sift_down(0);
+    }
+
+    void sift_up(std::size_t i) {
+        const Entry e = heap_[i];
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!earlier(e, heap_[parent])) break;
+            heap_[i] = heap_[parent];
+            i = parent;
+        }
+        heap_[i] = e;
+    }
+
+    void sift_down(std::size_t i) {
+        const Entry e = heap_[i];
+        const std::size_t n = heap_.size();
+        while (true) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n) break;
+            if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+            if (!earlier(heap_[child], e)) break;
+            heap_[i] = heap_[child];
+            i = child;
+        }
+        heap_[i] = e;
+    }
+
+    std::vector<Entry> heap_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_;
+    std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace lbrm::sim

@@ -9,10 +9,34 @@
 
 namespace lbrm::sim {
 
+namespace {
+
+/// Multicast-tree cache key: (group id, sender id) packed into 64 bits.
+[[nodiscard]] std::uint64_t tree_key(GroupId group, NodeId sender) {
+    return (static_cast<std::uint64_t>(group.value()) << 32) | sender.value();
+}
+
+}  // namespace
+
 Network::Network(Simulator& simulator, std::uint64_t seed)
     : simulator_(simulator), rng_(seed) {}
 
-Network::~Network() = default;
+Network::~Network() {
+    while (deliveries_ != nullptr) destroy(deliveries_);
+}
+
+void Network::track(DeliveryBase* d) {
+    d->next = deliveries_;
+    if (deliveries_ != nullptr) deliveries_->prev = d;
+    deliveries_ = d;
+}
+
+void Network::destroy(DeliveryBase* d) {
+    if (d->prev != nullptr) d->prev->next = d->next;
+    if (d->next != nullptr) d->next->prev = d->prev;
+    if (deliveries_ == d) deliveries_ = d->next;
+    delete d;
+}
 
 NodeId Network::add_node(SiteId site, bool is_router) {
     NodeRec record;
@@ -26,10 +50,17 @@ NodeId Network::add_node(SiteId site, bool is_router) {
 void Network::add_link(NodeId a, NodeId b, const LinkSpec& spec) {
     if (index(a) >= nodes_.size() || index(b) >= nodes_.size() || a == b)
         throw std::invalid_argument("Network::add_link: bad endpoints");
-    links_[{a, b}] = std::make_unique<Link>(a, b, spec);
-    links_[{b, a}] = std::make_unique<Link>(b, a, spec);
-    rec(a).neighbors.push_back(b);
-    rec(b).neighbors.push_back(a);
+    auto install = [this, &spec](NodeId from, NodeId to) {
+        if (Link* existing = link(from, to)) {
+            *existing = Link{from, to, spec};
+            return;
+        }
+        links_.push_back(std::make_unique<Link>(from, to, spec));
+        rec(from).out_links.push_back(
+            OutEdge{static_cast<std::uint32_t>(index(to)), links_.back().get()});
+    };
+    install(a, b);
+    install(b, a);
     finalized_ = false;
 }
 
@@ -39,16 +70,23 @@ void Network::set_loss(NodeId a, NodeId b, std::unique_ptr<LossModel> model) {
     l->set_loss_model(std::move(model));
 }
 
-void Network::set_node_down(NodeId node, bool down) { rec(node).down = down; }
+void Network::set_node_down(NodeId node, bool down) {
+    if (rec(node).down != down) mcast_cache_.clear();
+    rec(node).down = down;
+}
 
 Link* Network::link(NodeId a, NodeId b) {
-    auto it = links_.find({a, b});
-    return it == links_.end() ? nullptr : it->second.get();
+    const std::uint32_t want = static_cast<std::uint32_t>(index(b));
+    for (const OutEdge& e : rec(a).out_links)
+        if (e.to == want) return e.link;
+    return nullptr;
 }
 
 const Link* Network::link(NodeId a, NodeId b) const {
-    auto it = links_.find({a, b});
-    return it == links_.end() ? nullptr : it->second.get();
+    const std::uint32_t want = static_cast<std::uint32_t>(index(b));
+    for (const OutEdge& e : rec(a).out_links)
+        if (e.to == want) return e.link;
+    return nullptr;
 }
 
 SiteId Network::site_of(NodeId node) const { return rec(node).site; }
@@ -56,6 +94,8 @@ SiteId Network::site_of(NodeId node) const { return rec(node).site; }
 void Network::finalize() {
     const std::size_t n = nodes_.size();
     routes_.assign(n * n, 0);
+    route_links_.assign(n * n, nullptr);
+    mcast_cache_.clear();
 
     // Dijkstra from every node; weight = propagation + 1 microsecond hop
     // penalty (prefers fewer hops between equal-latency paths, keeping
@@ -64,10 +104,12 @@ void Network::finalize() {
     constexpr Dist kInf = std::numeric_limits<Dist>::max();
     std::vector<Dist> dist(n);
     std::vector<std::uint32_t> first_hop(n);
+    std::vector<Link*> first_link(n);
 
     for (std::size_t src = 0; src < n; ++src) {
         std::fill(dist.begin(), dist.end(), kInf);
         std::fill(first_hop.begin(), first_hop.end(), 0u);
+        std::fill(first_link.begin(), first_link.end(), nullptr);
         dist[src] = 0;
 
         using QE = std::pair<Dist, std::uint32_t>;  // (distance, node index)
@@ -78,18 +120,22 @@ void Network::finalize() {
             auto [d, u] = pq.top();
             pq.pop();
             if (d != dist[u]) continue;
-            for (NodeId v_id : nodes_[u].neighbors) {
-                const std::size_t v = index(v_id);
-                const Link* l = link(NodeId{static_cast<std::uint32_t>(u + 1)}, v_id);
-                const Dist w = l->spec().propagation.count() + 1000;  // +1us per hop
+            for (const OutEdge& e : nodes_[u].out_links) {
+                const std::size_t v = e.to;
+                const Dist w = e.link->spec().propagation.count() + 1000;  // +1us per hop
                 if (d + w < dist[v]) {
                     dist[v] = d + w;
-                    first_hop[v] = (u == src) ? v_id.value() : first_hop[u];
+                    first_hop[v] = (u == src) ? static_cast<std::uint32_t>(v + 1)
+                                              : first_hop[u];
+                    first_link[v] = (u == src) ? e.link : first_link[u];
                     pq.emplace(dist[v], static_cast<std::uint32_t>(v));
                 }
             }
         }
-        for (std::size_t dst = 0; dst < n; ++dst) routes_[src * n + dst] = first_hop[dst];
+        for (std::size_t dst = 0; dst < n; ++dst) {
+            routes_[src * n + dst] = first_hop[dst];
+            route_links_[src * n + dst] = first_link[dst];
+        }
     }
     finalized_ = true;
 }
@@ -100,11 +146,32 @@ NodeId Network::next_hop(NodeId from, NodeId to) const {
     return hop == 0 ? kNoNode : NodeId{hop};
 }
 
-void Network::join(GroupId group, NodeId node) { groups_[group].insert(node); }
+void Network::join(GroupId group, NodeId node) {
+    groups_[group].insert(node);
+    invalidate_trees_for(group);
+}
 
 void Network::leave(GroupId group, NodeId node) {
     auto it = groups_.find(group);
     if (it != groups_.end()) it->second.erase(node);
+    invalidate_trees_for(group);
+}
+
+void Network::invalidate_trees_for(GroupId group) {
+    for (auto it = mcast_cache_.begin(); it != mcast_cache_.end();) {
+        if ((it->first >> 32) == group.value())
+            it = mcast_cache_.erase(it);
+        else
+            ++it;
+    }
+}
+
+std::size_t Network::cached_tree_count() const {
+    std::size_t total = 0;
+    for (const auto& [key, by_scope] : mcast_cache_)
+        for (const auto& tree : by_scope)
+            if (tree) ++total;
+    return total;
 }
 
 SimHost& Network::attach_host(NodeId node) {
@@ -115,93 +182,122 @@ SimHost& Network::attach_host(NodeId node) {
 
 SimHost* Network::host(NodeId node) { return rec(node).host.get(); }
 
-void Network::deliver_local(NodeId node, std::shared_ptr<const Packet> packet) {
+void Network::deliver_local(NodeId node, const Packet& packet) {
     NodeRec& record = rec(node);
     if (record.down || !record.host) return;
-    record.host->deliver(simulator_.now(), *packet);
+    record.host->deliver(simulator_.now(), packet);
 }
 
 // ---------------------------------------------------------------------------
 // Unicast
 // ---------------------------------------------------------------------------
 
+struct Network::UnicastDelivery final : DeliveryBase {
+    UnicastDelivery(Network& n, const Packet& p, std::uint32_t to_index)
+        : net(n), packet(p), bytes(encoded_size(p)), type(p.type()), to(to_index) {}
+
+    Network& net;
+    Packet packet;
+    std::size_t bytes;
+    PacketType type;
+    std::uint32_t to;  ///< destination node index
+};
+
 void Network::unicast(NodeId from, NodeId to, const Packet& packet) {
     if (rec(from).down) return;
+    if (from != to && !finalized_)
+        throw std::logic_error("Network: finalize() before sending traffic");
+    auto* d = new UnicastDelivery(*this, packet, static_cast<std::uint32_t>(index(to)));
+    track(d);
     if (from == to) {  // local delivery without touching the network
-        auto shared = std::make_shared<const Packet>(packet);
         simulator_.schedule_in(Duration::zero(),
-                               [this, to, shared] { deliver_local(to, shared); });
+                               [d, at = d->to] { d->net.unicast_arrive(d, at); });
         return;
     }
-    auto shared = std::make_shared<const Packet>(packet);
-    const std::size_t bytes = encode(packet).size();
-    forward_unicast(from, to, std::move(shared), bytes);
+    forward_unicast(d, static_cast<std::uint32_t>(index(from)));
 }
 
-void Network::forward_unicast(NodeId at, NodeId to, std::shared_ptr<const Packet> packet,
-                              std::size_t bytes) {
-    const NodeId hop = next_hop(at, to);
-    if (hop == kNoNode) return;  // unreachable
-    Link* l = link(at, hop);
-    auto arrival = l->transmit(rng_, simulator_.now(), bytes, packet->type());
-    if (tap_) tap_(simulator_.now(), *l, *packet, arrival.has_value());
-    if (!arrival) return;
+void Network::forward_unicast(UnicastDelivery* d, std::uint32_t at) {
+    Link* l = route_links_[at * nodes_.size() + d->to];
+    if (l == nullptr) {  // unreachable
+        destroy(d);
+        return;
+    }
+    auto arrival = l->transmit(rng_, simulator_.now(), d->bytes, d->type);
+    if (tap_) tap_(simulator_.now(), *l, d->packet, arrival.has_value());
+    if (!arrival) {
+        destroy(d);
+        return;
+    }
+    const std::uint32_t hop = l->to().value() - 1;
+    simulator_.schedule_at(*arrival, [d, hop] { d->net.unicast_arrive(d, hop); });
+}
 
-    simulator_.schedule_at(*arrival, [this, hop, to, packet = std::move(packet), bytes] {
-        if (rec(hop).down) return;
-        if (hop == to) {
-            deliver_local(to, packet);
-        } else {
-            forward_unicast(hop, to, packet, bytes);
-        }
-    });
+void Network::unicast_arrive(UnicastDelivery* d, std::uint32_t at) {
+    if (nodes_[at].down) {
+        destroy(d);
+        return;
+    }
+    if (at == d->to) {
+        deliver_local(NodeId{at + 1}, d->packet);
+        destroy(d);
+        return;
+    }
+    forward_unicast(d, at);
 }
 
 // ---------------------------------------------------------------------------
 // Multicast
 // ---------------------------------------------------------------------------
 
-struct Network::TreeDelivery {
-    std::map<NodeId, std::vector<NodeId>> children;
-    std::set<NodeId> members;
-    std::shared_ptr<const Packet> packet;
-    std::size_t bytes = 0;
+struct Network::TreeDelivery final : DeliveryBase {
+    TreeDelivery(Network& n, std::shared_ptr<const CachedTree> t, const Packet& p)
+        : net(n), tree(std::move(t)), packet(p), bytes(encoded_size(p)), type(p.type()) {}
+
+    Network& net;
+    std::shared_ptr<const CachedTree> tree;  ///< pins the tree across invalidation
+    Packet packet;
+    std::size_t bytes;
+    PacketType type;
+    std::uint32_t pending = 1;  ///< outstanding events + the sending frame
 };
 
-void Network::multicast(NodeId from, const Packet& packet, McastScope scope) {
-    if (rec(from).down) return;
-    auto it = groups_.find(packet.header.group);
-    if (it == groups_.end()) return;
+std::shared_ptr<const Network::CachedTree> Network::build_tree(
+    NodeId from, const std::set<NodeId>& members, McastScope scope) const {
+    const std::size_t n = nodes_.size();
+    auto tree = std::make_shared<CachedTree>();
+    tree->edges.resize(n);
+    tree->member.assign(n, 0);
 
-    auto tree = std::make_shared<TreeDelivery>();
-    tree->packet = std::make_shared<const Packet>(packet);
-    tree->bytes = encode(packet).size();
-
-    // Hop budget per scope: site = never leave the sender's site; region =
-    // up to 4 hops (adjacent sites through the backbone); global = all.
+    // Hop budget per scope: site scope is bounded by the site-containment
+    // check below (a site never spans more hops than its own LAN); region
+    // scope reaches adjacent sites through the backbone, up to 4 hops;
+    // global scope is unbounded.
     const SiteId sender_site = site_of(from);
-    const std::size_t hop_limit = scope == McastScope::kRegion ? 4u
-                                  : scope == McastScope::kSite
-                                      ? std::numeric_limits<std::size_t>::max()
+    const std::size_t hop_limit = scope == McastScope::kRegion
+                                      ? 4u
                                       : std::numeric_limits<std::size_t>::max();
 
-    for (NodeId member : it->second) {
+    const std::uint32_t from_index = static_cast<std::uint32_t>(index(from));
+    std::vector<std::uint32_t> path;
+    for (NodeId member : members) {
         if (member == from || rec(member).down) continue;
         if (scope == McastScope::kSite && site_of(member) != sender_site) continue;
 
-        // Trace the unicast path; collect the edge chain.
-        std::vector<NodeId> path{from};
-        NodeId at = from;
+        // Walk the unicast route; collect the node-index chain.
+        const std::size_t member_index = index(member);
+        path.assign(1, from_index);
+        std::uint32_t at = from_index;
         bool reachable = true;
-        while (at != member) {
-            const NodeId hop = next_hop(at, member);
-            if (hop == kNoNode) {
+        while (at != member_index) {
+            const std::uint32_t hop = routes_[at * n + member_index];
+            if (hop == 0) {
                 reachable = false;
                 break;
             }
-            path.push_back(hop);
-            at = hop;
-            if (path.size() > nodes_.size()) {
+            path.push_back(hop - 1);
+            at = hop - 1;
+            if (path.size() > n) {
                 reachable = false;  // routing loop guard
                 break;
             }
@@ -209,37 +305,63 @@ void Network::multicast(NodeId from, const Packet& packet, McastScope scope) {
         if (!reachable || path.size() - 1 > hop_limit) continue;
         if (scope == McastScope::kSite) {
             bool stays = true;
-            for (NodeId n : path)
-                if (site_of(n) != sender_site) stays = false;
+            for (std::uint32_t node : path)
+                if (nodes_[node].site != sender_site) stays = false;
             if (!stays) continue;
         }
 
-        tree->members.insert(member);
+        tree->member[member_index] = 1;
+        tree->any_members = true;
         for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-            auto& kids = tree->children[path[i]];
-            if (std::find(kids.begin(), kids.end(), path[i + 1]) == kids.end())
-                kids.push_back(path[i + 1]);
+            auto& kids = tree->edges[path[i]];
+            const std::uint32_t child = path[i + 1];
+            if (std::find_if(kids.begin(), kids.end(), [child](const OutEdge& e) {
+                    return e.to == child;
+                }) == kids.end())
+                kids.push_back(OutEdge{child, route_links_[path[i] * n + member_index]});
         }
     }
-
-    if (!tree->members.empty()) multicast_step(tree, from);
+    return tree;
 }
 
-void Network::multicast_step(const std::shared_ptr<TreeDelivery>& tree, NodeId at) {
-    auto it = tree->children.find(at);
-    if (it == tree->children.end()) return;
-    for (NodeId child : it->second) {
-        Link* l = link(at, child);
-        if (l == nullptr) continue;
-        auto arrival = l->transmit(rng_, simulator_.now(), tree->bytes, tree->packet->type());
-        if (tap_) tap_(simulator_.now(), *l, *tree->packet, arrival.has_value());
+void Network::multicast(NodeId from, const Packet& packet, McastScope scope) {
+    if (!finalized_) throw std::logic_error("Network: finalize() before sending traffic");
+    if (rec(from).down) return;
+    auto git = groups_.find(packet.header.group);
+    if (git == groups_.end()) return;
+
+    auto& by_scope = mcast_cache_[tree_key(packet.header.group, from)];
+    auto& slot = by_scope[static_cast<std::size_t>(scope)];
+    if (!slot) slot = build_tree(from, git->second, scope);
+    if (!slot->any_members) return;
+
+    auto* d = new TreeDelivery(*this, slot, packet);
+    track(d);
+    multicast_step(d, static_cast<std::uint32_t>(index(from)));
+    unref(d);  // drop the sending frame's reference
+}
+
+void Network::multicast_step(TreeDelivery* d, std::uint32_t at) {
+    for (const OutEdge& e : d->tree->edges[at]) {
+        auto arrival = e.link->transmit(rng_, simulator_.now(), d->bytes, d->type);
+        if (tap_) tap_(simulator_.now(), *e.link, d->packet, arrival.has_value());
         if (!arrival) continue;
-        simulator_.schedule_at(*arrival, [this, tree, child] {
-            if (rec(child).down) return;
-            if (tree->members.contains(child)) deliver_local(child, tree->packet);
-            multicast_step(tree, child);
-        });
+        ++d->pending;
+        simulator_.schedule_at(*arrival,
+                               [d, child = e.to] { d->net.multicast_arrive(d, child); });
     }
+}
+
+void Network::multicast_arrive(TreeDelivery* d, std::uint32_t at) {
+    if (!nodes_[at].down) {
+        if (d->tree->member[at]) deliver_local(NodeId{at + 1}, d->packet);
+        multicast_step(d, at);
+    }
+    unref(d);
+}
+
+void Network::unref(TreeDelivery* d) {
+    if (--d->pending == 0) destroy(d);
 }
 
 // ---------------------------------------------------------------------------
@@ -249,13 +371,13 @@ void Network::multicast_step(const std::shared_ptr<TreeDelivery>& tree, NodeId a
 std::uint64_t Network::count_packets(PacketType type,
                                      const std::function<bool(const Link&)>& pred) const {
     std::uint64_t total = 0;
-    for (const auto& [key, l] : links_)
+    for (const auto& l : links_)
         if (!pred || pred(*l)) total += l->stats().packets_of(type);
     return total;
 }
 
 void Network::reset_link_stats() {
-    for (auto& [key, l] : links_) l->reset_stats();
+    for (auto& l : links_) l->reset_stats();
 }
 
 }  // namespace lbrm::sim

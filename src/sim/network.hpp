@@ -8,11 +8,20 @@
 // TTL-limited repairs and discovery rings) prunes the tree: site scope never
 // leaves the sender's site; region scope is hop-limited.
 //
+// Fast-path layout (see DESIGN.md "Simulator performance"): delivery trees
+// are cached per (group, sender, scope) and invalidated on membership or
+// topology change; routing is a flat next-hop matrix with a parallel
+// next-link matrix so the per-hop forwarding step does no associative
+// lookups; per-send state is a single heap allocation whose event closures
+// fit std::function's small-buffer size.
+//
 // Protocol endpoints attach as SimHost objects (see sim_host.hpp); the
 // network delivers decoded packets to them and provides their timers via
 // the shared Simulator.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -49,6 +58,7 @@ public:
     NodeId add_node(SiteId site, bool is_router = false);
 
     /// Add a bidirectional cable: two directed links with the same spec.
+    /// Re-adding an existing pair replaces both directed links.
     void add_link(NodeId a, NodeId b, const LinkSpec& spec);
 
     /// Replace the loss model of the directed link a -> b.
@@ -82,6 +92,10 @@ public:
     [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
     [[nodiscard]] Simulator& simulator() { return simulator_; }
 
+    /// Cached multicast delivery trees currently held (tests use this to
+    /// observe cache hits and invalidation).
+    [[nodiscard]] std::size_t cached_tree_count() const;
+
     /// Observation tap invoked for every packet put on any link (after the
     /// loss/queue decision, with `delivered` telling the outcome).
     using Tap = std::function<void(TimePoint, const Link&, const Packet&, bool delivered)>;
@@ -94,15 +108,40 @@ public:
     void reset_link_stats();
 
 private:
+    /// One directed adjacency edge: target node index and the link there.
+    struct OutEdge {
+        std::uint32_t to;  ///< node index
+        Link* link;
+    };
+
     struct NodeRec {
         SiteId site;
         bool is_router = false;
         bool down = false;
         std::unique_ptr<SimHost> host;
-        std::vector<NodeId> neighbors;
+        std::vector<OutEdge> out_links;
     };
 
-    struct TreeDelivery;  // per-multicast shared state
+    /// A multicast shortest-path tree rooted at one sender, pruned to one
+    /// scope, with links pre-resolved.  Immutable once built; shared by all
+    /// in-flight deliveries that were started while it was current.
+    struct CachedTree {
+        std::vector<std::vector<OutEdge>> edges;  ///< tree children by node index
+        std::vector<std::uint8_t> member;         ///< 1 = deliver locally here
+        bool any_members = false;
+    };
+
+    /// Base for in-flight per-send delivery state.  Deliveries are owned by
+    /// the network through an intrusive list so ~Network reclaims whatever
+    /// the event queue never ran; event closures hold only a raw pointer
+    /// (+ a node index), keeping them inside std::function's small buffer.
+    struct DeliveryBase {
+        DeliveryBase* prev = nullptr;
+        DeliveryBase* next = nullptr;
+        virtual ~DeliveryBase() = default;
+    };
+    struct UnicastDelivery;
+    struct TreeDelivery;
 
     [[nodiscard]] std::size_t index(NodeId id) const { return id.value() - 1; }
     [[nodiscard]] NodeRec& rec(NodeId id) { return nodes_[index(id)]; }
@@ -111,18 +150,37 @@ private:
     /// Next hop from `from` toward `to`; kNoNode when unreachable.
     [[nodiscard]] NodeId next_hop(NodeId from, NodeId to) const;
 
-    void forward_unicast(NodeId at, NodeId to,
-                         std::shared_ptr<const Packet> packet, std::size_t bytes);
-    void deliver_local(NodeId node, std::shared_ptr<const Packet> packet);
-    void multicast_step(const std::shared_ptr<TreeDelivery>& tree, NodeId at);
+    void track(DeliveryBase* d);
+    void destroy(DeliveryBase* d);
+
+    void deliver_local(NodeId node, const Packet& packet);
+
+    void forward_unicast(UnicastDelivery* d, std::uint32_t at);
+    void unicast_arrive(UnicastDelivery* d, std::uint32_t at);
+
+    [[nodiscard]] std::shared_ptr<const CachedTree> build_tree(
+        NodeId from, const std::set<NodeId>& members, McastScope scope) const;
+    void invalidate_trees_for(GroupId group);
+    void multicast_step(TreeDelivery* d, std::uint32_t at);
+    void multicast_arrive(TreeDelivery* d, std::uint32_t at);
+    void unref(TreeDelivery* d);
 
     Simulator& simulator_;
     Rng rng_;
     std::vector<NodeRec> nodes_;
-    std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
+    std::vector<std::unique_ptr<Link>> links_;  ///< creation order; adjacency points here
     std::map<GroupId, std::set<NodeId>> groups_;
     /// routes_[src_index * n + dst_index] = next hop id value (0 = none).
     std::vector<std::uint32_t> routes_;
+    /// route_links_[src_index * n + dst_index] = link toward that next hop
+    /// (nullptr = unreachable).  Built by finalize(); O(1) per-hop lookup.
+    std::vector<Link*> route_links_;
+    /// Delivery-tree cache: key packs (group << 32 | sender id); the array
+    /// is indexed by McastScope.  Invalidated on join/leave (that group),
+    /// set_node_down and finalize (all groups).
+    std::unordered_map<std::uint64_t,
+                       std::array<std::shared_ptr<const CachedTree>, 4>> mcast_cache_;
+    DeliveryBase* deliveries_ = nullptr;  ///< intrusive list of in-flight sends
     bool finalized_ = false;
     Tap tap_;
 };

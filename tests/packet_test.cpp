@@ -53,6 +53,11 @@ TEST_P(PacketRoundTrip, EncodeDecodeIsIdentity) {
     EXPECT_EQ(decoded->type(), original.type());
 }
 
+TEST_P(PacketRoundTrip, EncodedSizeMatchesEncode) {
+    const Packet& packet = GetParam();
+    EXPECT_EQ(encoded_size(packet), encode(packet).size()) << to_string(packet.type());
+}
+
 TEST_P(PacketRoundTrip, AnyTruncationFailsCleanly) {
     const auto wire = encode(GetParam());
     for (std::size_t len = 0; len < wire.size(); ++len) {
@@ -138,6 +143,20 @@ TEST(PacketEncode, NackSizeScalesWithMissingList) {
     const auto s = encode({header(), small});
     const auto l = encode({header(), large});
     EXPECT_EQ(l.size() - s.size(), 4u * 4u);
+}
+
+TEST(PacketEncode, EncodedSizeTracksVariableLengthFields) {
+    for (std::size_t len : {0u, 1u, 17u, 1500u}) {
+        const Packet p{header(),
+                       DataBody{SeqNum{1}, EpochId{0}, std::vector<std::uint8_t>(len, 0x5A)}};
+        EXPECT_EQ(encoded_size(p), encode(p).size()) << "payload " << len;
+    }
+    for (std::size_t count : {0u, 1u, 300u}) {
+        NackBody b;
+        b.missing.assign(count, SeqNum{9});
+        const Packet p{header(), std::move(b)};
+        EXPECT_EQ(encoded_size(p), encode(p).size()) << "missing " << count;
+    }
 }
 
 }  // namespace

@@ -45,6 +45,44 @@ TEST(EventQueue, CancelledEventsDoNotRun) {
     EXPECT_FALSE(ran);
 }
 
+TEST(EventQueue, CancelAfterFireIsBoundedNoOp) {
+    // Regression: cancelling an id whose event already fired used to park
+    // the id in a cancelled-set forever.  Bookkeeping must be bounded by
+    // peak concurrency, not by lifetime schedule/cancel counts.
+    EventQueue q;
+    for (int round = 0; round < 10000; ++round) {
+        const auto id = q.schedule(at(static_cast<double>(round)), [] {});
+        q.pop().fn();
+        q.cancel(id);  // already fired: must be a no-op
+        q.cancel(id);  // repeated cancel: still a no-op
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_LE(q.slab_slots(), 2u);
+}
+
+TEST(EventQueue, StaleCancelDoesNotHitRecycledSlot) {
+    EventQueue q;
+    const auto stale = q.schedule(at(1.0), [] {});
+    q.pop().fn();  // fires; its slot is recycled
+    bool ran = false;
+    q.schedule(at(2.0), [&] { ran = true; });  // reuses the slot
+    q.cancel(stale);  // id of the fired event: must not cancel the new one
+    while (!q.empty()) q.pop().fn();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, CancelInterleavedWithEqualTimestamps) {
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 6; ++i)
+        ids.push_back(q.schedule(at(1.0), [&order, i] { order.push_back(i); }));
+    q.cancel(ids[1]);
+    q.cancel(ids[4]);
+    while (!q.empty()) q.pop().fn();
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 5}));
+}
+
 TEST(Simulator, ClockAdvancesWithEvents) {
     Simulator sim;
     TimePoint seen{};
@@ -277,6 +315,165 @@ TEST(Network, SiteScopedMulticastNeverLeavesSite) {
     EXPECT_EQ(site0, 3u);
     EXPECT_EQ(site1, 0u);
 }
+
+TEST(Network, RegionScopeLimitsToFourHops) {
+    // Region scope = up to 4 hops (adjacent sites through the backbone).
+    // On a 7-node chain, the member 4 hops out is reached, 5 hops is not.
+    Simulator sim;
+    Network net{sim, 1};
+    std::vector<NodeId> chain;
+    for (std::uint32_t i = 0; i < 7; ++i) chain.push_back(net.add_node(SiteId{i}));
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i)
+        net.add_link(chain[i], chain[i + 1], LinkSpec{});
+    net.finalize();
+
+    const GroupId group{1};
+    net.join(group, chain[4]);  // 4 hops from chain[0]
+    net.join(group, chain[5]);  // 5 hops from chain[0]
+    net.multicast(chain[0],
+                  Packet{Header{group, chain[0], chain[0]},
+                         DataBody{SeqNum{1}, EpochId{0}, {1}}},
+                  McastScope::kRegion);
+    sim.run_for(secs(1.0));
+
+    EXPECT_EQ(net.link(chain[3], chain[4])->stats().packets, 1u);
+    EXPECT_EQ(net.link(chain[4], chain[5])->stats().packets, 0u);
+
+    // Global scope from the same sender reaches the 5-hop member too.
+    net.multicast(chain[0],
+                  Packet{Header{group, chain[0], chain[0]},
+                         DataBody{SeqNum{2}, EpochId{0}, {1}}},
+                  McastScope::kGlobal);
+    sim.run_for(secs(1.0));
+    EXPECT_EQ(net.link(chain[4], chain[5])->stats().packets, 1u);
+}
+
+// --- multicast tree cache ----------------------------------------------------
+
+namespace cache_test {
+
+struct Fixture {
+    Simulator sim;
+    Network net{sim, 7};
+    DisTopology topo;
+    GroupId group{1};
+
+    Fixture() {
+        DisTopologySpec spec;
+        spec.sites = 2;
+        spec.receivers_per_site = 3;
+        topo = make_dis_topology(net, spec);
+        net.finalize();
+        for (NodeId r : topo.all_receivers()) net.join(group, r);
+    }
+
+    void send(std::uint32_t seq) {
+        net.multicast(topo.source,
+                      Packet{Header{group, topo.source, topo.source},
+                             DataBody{SeqNum{seq}, EpochId{0}, {1, 2}}},
+                      McastScope::kGlobal);
+        sim.run_for(secs(1.0));
+    }
+
+    [[nodiscard]] std::uint64_t copies_to(NodeId receiver) {
+        for (const auto& site : topo.sites)
+            for (NodeId r : site.receivers)
+                if (r == receiver)
+                    return net.link(site.router, r)->stats().packets_of(PacketType::kData);
+        return 0;
+    }
+};
+
+TEST(NetworkTreeCache, RepeatSendsReuseOneCachedTree) {
+    Fixture f;
+    EXPECT_EQ(f.net.cached_tree_count(), 0u);
+    f.send(1);
+    EXPECT_EQ(f.net.cached_tree_count(), 1u);
+    f.send(2);
+    f.send(3);
+    EXPECT_EQ(f.net.cached_tree_count(), 1u);
+    for (NodeId r : f.topo.all_receivers()) EXPECT_EQ(f.copies_to(r), 3u);
+}
+
+TEST(NetworkTreeCache, JoinRebuildsAndDeliversToNewMember) {
+    Fixture f;
+    const NodeId late = f.topo.sites[1].secondary;
+    f.send(1);
+    EXPECT_EQ(f.net.cached_tree_count(), 1u);
+    f.net.join(f.group, late);
+    EXPECT_EQ(f.net.cached_tree_count(), 0u);  // invalidated
+    f.send(2);
+    // The late joiner got exactly the post-join packet...
+    EXPECT_EQ(f.net.link(f.topo.sites[1].router, late)->stats().packets_of(
+                  PacketType::kData),
+              1u);
+    // ...and existing members got both.
+    for (NodeId r : f.topo.all_receivers()) EXPECT_EQ(f.copies_to(r), 2u);
+}
+
+TEST(NetworkTreeCache, LeaveRebuildsAndStopsDelivering) {
+    Fixture f;
+    const NodeId leaver = f.topo.sites[0].receivers[0];
+    f.send(1);
+    f.net.leave(f.group, leaver);
+    EXPECT_EQ(f.net.cached_tree_count(), 0u);
+    f.send(2);
+    EXPECT_EQ(f.copies_to(leaver), 1u);  // only the pre-leave packet
+    for (NodeId r : f.topo.sites[1].receivers) EXPECT_EQ(f.copies_to(r), 2u);
+}
+
+TEST(NetworkTreeCache, NodeDownRebuildsAndPrunesMember) {
+    Fixture f;
+    const NodeId dead = f.topo.sites[0].receivers[1];
+    f.send(1);
+    f.net.set_node_down(dead, true);
+    EXPECT_EQ(f.net.cached_tree_count(), 0u);
+    f.send(2);
+    EXPECT_EQ(f.copies_to(dead), 1u);
+    f.net.set_node_down(dead, false);
+    f.send(3);
+    EXPECT_EQ(f.copies_to(dead), 2u);  // rejoins delivery after revival
+    for (NodeId r : f.topo.sites[1].receivers) EXPECT_EQ(f.copies_to(r), 3u);
+}
+
+TEST(NetworkTreeCache, RefinalizeAfterTopologyChangeRebuilds) {
+    Fixture f;
+    f.send(1);
+    EXPECT_EQ(f.net.cached_tree_count(), 1u);
+    // Attach a brand-new receiver behind site 0's router and re-finalize.
+    const NodeId extra = f.net.add_node(f.topo.sites[0].id);
+    f.net.add_link(f.topo.sites[0].router, extra, LinkSpec{});
+    f.net.finalize();
+    EXPECT_EQ(f.net.cached_tree_count(), 0u);
+    f.net.join(f.group, extra);
+    f.send(2);
+    EXPECT_EQ(f.net.link(f.topo.sites[0].router, extra)->stats().packets_of(
+                  PacketType::kData),
+              1u);
+    for (NodeId r : f.topo.all_receivers()) EXPECT_EQ(f.copies_to(r), 2u);
+}
+
+TEST(NetworkTreeCache, ScopedTreesCacheIndependently) {
+    Fixture f;
+    f.net.join(f.group, f.topo.sites[0].secondary);
+    const NodeId secondary = f.topo.sites[0].secondary;
+    auto send_scoped = [&](McastScope scope) {
+        f.net.multicast(secondary,
+                        Packet{Header{f.group, f.topo.source, secondary},
+                               RetransmissionBody{SeqNum{1}, EpochId{0}, true, {1}}},
+                        scope);
+        f.sim.run_for(secs(1.0));
+    };
+    send_scoped(McastScope::kSite);
+    send_scoped(McastScope::kGlobal);
+    EXPECT_EQ(f.net.cached_tree_count(), 2u);  // one per scope
+    // Site scope stayed local both times.
+    EXPECT_EQ(f.net.link(f.topo.sites[0].router, f.topo.backbone)
+                  ->stats().packets_of(PacketType::kRetransmission),
+              1u);  // only the global send crossed the tail
+}
+
+}  // namespace cache_test
 
 TEST(Network, DownNodeNeitherSendsNorReceives) {
     Simulator sim;
