@@ -3,6 +3,7 @@
 // rows) in a fixed-width layout plus a machine-readable CSV block.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -74,18 +75,46 @@ inline std::string json_metric_line(const JsonMetric& m) {
     return buf;
 }
 
-/// Write `metrics` to `path` as a JSON array (e.g. BENCH_simcore.json).
-/// Returns false (and prints a note) if the file cannot be opened.
+/// Write `metrics` to `path` as a JSON array (e.g. BENCH_simcore.json),
+/// merging with the file's existing entries: an existing entry survives
+/// unless a new metric has the same ("name", "metric") pair — so different
+/// bench binaries can share one trajectory file without clobbering each
+/// other.  Returns false (and prints a note) if the file cannot be opened.
 inline bool write_bench_json(const std::string& path, const std::vector<JsonMetric>& metrics) {
+    // Entries this file writes one per line, so merge at line granularity:
+    // keep prior lines whose ("name", "metric") pair is not being rewritten.
+    std::vector<std::string> kept;
+    if (std::FILE* in = std::fopen(path.c_str(), "r")) {
+        char line[512];
+        while (std::fgets(line, sizeof(line), in) != nullptr) {
+            std::string s(line);
+            if (s.find("\"name\"") == std::string::npos) continue;  // brackets
+            const bool replaced = std::any_of(
+                metrics.begin(), metrics.end(), [&](const JsonMetric& m) {
+                    return s.find("\"name\": \"" + m.name + "\"") != std::string::npos &&
+                           s.find("\"metric\": \"" + m.metric + "\"") != std::string::npos;
+                });
+            if (replaced) continue;
+            while (!s.empty() && (s.back() == '\n' || s.back() == ',' || s.back() == ' '))
+                s.pop_back();
+            kept.push_back(s);
+        }
+        std::fclose(in);
+    }
+
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
         std::printf("warning: could not open %s for writing\n", path.c_str());
         return false;
     }
     std::fprintf(f, "[\n");
-    for (std::size_t i = 0; i < metrics.size(); ++i)
-        std::fprintf(f, "  %s%s\n", json_metric_line(metrics[i]).c_str(),
-                     i + 1 < metrics.size() ? "," : "");
+    const std::size_t total = kept.size() + metrics.size();
+    std::size_t written = 0;
+    for (const auto& line : kept)
+        std::fprintf(f, "%s%s\n", line.c_str(), ++written < total ? "," : "");
+    for (const auto& m : metrics)
+        std::fprintf(f, "  %s%s\n", json_metric_line(m).c_str(),
+                     ++written < total ? "," : "");
     std::fprintf(f, "]\n");
     std::fclose(f);
     return true;

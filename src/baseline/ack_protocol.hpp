@@ -63,7 +63,7 @@ private:
     AckProtocolConfig config_;
     SeqNum next_seq_{1};
     LogStore log_;
-    std::map<SeqNum, Pending> pending_;
+    std::map<SeqNum, Pending, SeqNum::WireOrder> pending_;
     std::uint64_t acks_received_ = 0;
     std::uint64_t retransmissions_ = 0;
 };

@@ -75,7 +75,7 @@ private:
     LogStore log_;
     /// Armed repair timers: like any SRM member, the source delays repairs
     /// by [d1, d1+d2] x RTT and suppresses on hearing someone else's repair.
-    std::set<SeqNum> repair_armed_;
+    std::set<SeqNum, SeqNum::WireOrder> repair_armed_;
     std::uint64_t jitter_state_;
 };
 
@@ -112,9 +112,9 @@ private:
     SrmConfig config_;
     LossDetector detector_;
     LogStore cache_;
-    std::map<SeqNum, RequestState> requests_;
+    std::map<SeqNum, RequestState, SeqNum::WireOrder> requests_;
     /// Repairs we owe the group (armed repair timers), keyed by seq.
-    std::set<SeqNum> repair_armed_;
+    std::set<SeqNum, SeqNum::WireOrder> repair_armed_;
 
     std::uint64_t jitter_state_;
     std::uint64_t requests_sent_ = 0;

@@ -6,10 +6,22 @@
 // positive.  Distances of exactly half the space are ill-defined in RFC 1982;
 // we resolve them deterministically (half-space counts as "greater") which
 // is safe because LBRM windows are tiny compared to 2^31.
+//
+// IMPORTANT: serial comparison is only valid *pairwise*, between sequence
+// numbers known to lie within half the space of each other.  It is NOT a
+// strict weak ordering over the whole domain (a < b < c < a is reachable
+// around the wrap point), so it must never be used as an ordered-container
+// comparator -- that is undefined behavior in std::map/std::set.  Containers
+// key on SeqNum::WireOrder (raw uint32_t order, a total order) and recover
+// serial semantics with the wrap-aware serial_begin()/serial_last() helpers
+// below, which are valid whenever the keys span less than half the space --
+// the invariant every LBRM window already maintains.
 #pragma once
 
 #include <compare>
 #include <cstdint>
+#include <iterator>
+#include <utility>
 
 namespace lbrm {
 
@@ -47,14 +59,66 @@ public:
 
     friend constexpr bool operator==(SeqNum a, SeqNum b) { return a.value_ == b.value_; }
 
+    /// Pairwise serial comparison (see file comment).  Only meaningful when
+    /// `a` and `b` are within half the space of each other; never use as an
+    /// ordered-container comparator -- use WireOrder for that.
     friend constexpr std::strong_ordering operator<=>(SeqNum a, SeqNum b) {
         if (a.value_ == b.value_) return std::strong_ordering::equal;
         return a.distance_to(b) > 0 ? std::strong_ordering::less
                                     : std::strong_ordering::greater;
     }
 
+    /// Total order on the raw wire value: a valid strict weak ordering for
+    /// std::map/std::set keys.  Iteration order is numeric, NOT serial --
+    /// use serial_begin()/serial_last() to find the serially oldest/newest
+    /// element of a wire-ordered container.
+    struct WireOrder {
+        [[nodiscard]] constexpr bool operator()(SeqNum a, SeqNum b) const {
+            return a.value_ < b.value_;
+        }
+    };
+
 private:
     std::uint32_t value_ = 0;
 };
+
+namespace detail {
+/// Key extraction for wire-ordered sets (element is the key) and maps
+/// (element is a pair whose first is the key).
+constexpr SeqNum seq_key(SeqNum s) { return s; }
+template <typename V>
+constexpr SeqNum seq_key(const std::pair<const SeqNum, V>& p) {
+    return p.first;
+}
+}  // namespace detail
+
+/// Iterator to the *serially oldest* key of a WireOrder-ed map/set whose
+/// keys all lie within half the sequence space (every LBRM window does).
+/// Returns end() when empty.  Wrap-aware: when the window straddles 2^32 the
+/// oldest keys are the numerically largest ones.
+template <typename Container>
+[[nodiscard]] auto serial_begin(Container& c) {
+    auto first = c.begin();
+    if (first == c.end()) return first;
+    const SeqNum lo = detail::seq_key(*first);
+    const SeqNum hi = detail::seq_key(*std::prev(c.end()));
+    if (lo.distance_to(hi) >= 0) return first;  // window does not wrap
+    // Wrapped: the old half sits at the top of the numeric range.  Any
+    // threshold inside the empty middle region works; lo + 2^31 is always
+    // inside it when the window spans < 2^31.
+    return c.lower_bound(SeqNum{lo.value() + 0x80000000u});
+}
+
+/// Iterator to the *serially newest* key (the counterpart of serial_begin).
+/// Returns end() when empty.
+template <typename Container>
+[[nodiscard]] auto serial_last(Container& c) {
+    auto first = c.begin();
+    if (first == c.end()) return first;
+    const SeqNum lo = detail::seq_key(*first);
+    const SeqNum hi = detail::seq_key(*std::prev(c.end()));
+    if (lo.distance_to(hi) >= 0) return std::prev(c.end());
+    return std::prev(c.lower_bound(SeqNum{lo.value() + 0x80000000u}));
+}
 
 }  // namespace lbrm

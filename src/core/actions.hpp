@@ -116,6 +116,9 @@ enum class NoticeKind : std::uint8_t {
     kCongestionSlowdown,  ///< sender: flow control raised the send spacing
                           ///< (arg = recommended spacing in microseconds)
     kCongestionCleared,   ///< sender: loss subsided, spacing back to zero
+    kAckerOutage,         ///< sender: an epoch closed with zero volunteers;
+                          ///< ACK coverage is dark until the re-solicit
+                          ///< (arg = the epoch id)
 };
 
 struct Notice {

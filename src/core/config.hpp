@@ -53,6 +53,10 @@ struct StatAckConfig {
     /// A node ACKing packets it was not designated for is blacklisted after
     /// this many spurious ACKs (Section 2.3.3 "hotlist").
     std::uint32_t faulty_acker_limit = 3;
+    /// When an epoch's acker-selection window closes with zero volunteers,
+    /// re-solicit after this delay instead of leaving ACK coverage dark for
+    /// a whole epoch_interval.
+    Duration empty_epoch_retry = secs(1.0);
 };
 
 /// Data-source configuration.
@@ -123,6 +127,10 @@ struct ReceiverConfig {
     /// Multiplier on the expected inter-packet gap before declaring the
     /// stream stale; 2.0 mirrors the paper's 2 x t_burst detection bound.
     double idle_safety = 2.0;
+    /// Widest sequence gap one packet may open in the loss detector; 0 =
+    /// LossDetector::kDefaultMaxGap.  Bounds the damage of a corrupted or
+    /// far-future sequence number (see loss_detector.hpp).
+    std::int32_t max_detector_gap = 0;
     /// Small randomized delay before NACKing, letting reordered packets
     /// arrive (Appendix A "short retransmission request timer").
     Duration nack_delay_min = millis(5);
@@ -184,6 +192,16 @@ struct LoggerConfig {
     std::vector<NodeId> replicas;
 
     RetentionPolicy retention;
+
+    /// First sequence number of the stream being logged (must match the
+    /// source's SenderConfig::initial_seq).  Anchors the contiguous
+    /// high-water mark so "nothing logged yet" compares serially *behind*
+    /// the first packet even when the stream starts near the 2^32 wrap.
+    SeqNum initial_seq{1};
+
+    /// Widest sequence gap one packet may open in the stream-watch loss
+    /// detector; 0 = LossDetector::kDefaultMaxGap (see loss_detector.hpp).
+    std::int32_t max_detector_gap = 0;
 
     /// Secondary re-multicasts a repair (site scope) instead of unicasting
     /// when at least this many local NACKs arrive for one seq inside the

@@ -21,7 +21,7 @@ std::size_t LogStore::expire(TimePoint now) {
     if (policy_.max_age == Duration::zero()) return 0;
     std::size_t dropped = 0;
     while (!entries_.empty()) {
-        auto oldest = entries_.begin();
+        auto oldest = serial_begin(entries_);
         if (now - oldest->second.stored_at <= policy_.max_age) break;
         payload_bytes_ -= oldest->second.payload.size();
         entries_.erase(oldest);
@@ -33,7 +33,7 @@ std::size_t LogStore::expire(TimePoint now) {
 
 void LogStore::release_through(SeqNum seq) {
     while (!entries_.empty()) {
-        auto oldest = entries_.begin();
+        auto oldest = serial_begin(entries_);
         if (oldest->first > seq) break;
         payload_bytes_ -= oldest->second.payload.size();
         entries_.erase(oldest);
@@ -57,16 +57,16 @@ std::vector<SeqNum> LogStore::gaps(SeqNum from, SeqNum to) const {
 
 std::optional<SeqNum> LogStore::lowest() const {
     if (entries_.empty()) return std::nullopt;
-    return entries_.begin()->first;
+    return serial_begin(entries_)->first;
 }
 
 std::optional<SeqNum> LogStore::highest() const {
     if (entries_.empty()) return std::nullopt;
-    return entries_.rbegin()->first;
+    return serial_last(entries_)->first;
 }
 
 void LogStore::evict_oldest() {
-    auto oldest = entries_.begin();
+    auto oldest = serial_begin(entries_);
     payload_bytes_ -= oldest->second.payload.size();
     entries_.erase(oldest);
     ++evicted_;

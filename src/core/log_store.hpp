@@ -70,7 +70,8 @@ private:
     void enforce_bounds();
 
     RetentionPolicy policy_{};
-    std::map<SeqNum, Entry> entries_;
+    /// Wire-ordered (see seqnum.hpp); oldest-first walks use serial_begin().
+    std::map<SeqNum, Entry, SeqNum::WireOrder> entries_;
     std::size_t payload_bytes_ = 0;
     std::size_t evicted_ = 0;
 };

@@ -6,7 +6,8 @@ namespace lbrm {
 
 LoggerCore::LoggerCore(LoggerConfig config, std::uint64_t rng_seed)
     : config_(std::move(config)), role_(config_.role), rng_(rng_seed),
-      store_(config_.retention) {}
+      store_(config_.retention), contiguous_(config_.initial_seq.prev()),
+      detector_(config_.max_detector_gap) {}
 
 Actions LoggerCore::start(TimePoint now) {
     (void)now;
@@ -308,7 +309,7 @@ Actions LoggerCore::fire_fetch(TimePoint now) {
 // ---------------------------------------------------------------------------
 
 SeqNum LoggerCore::best_replica_seq() const {
-    SeqNum best{0};
+    SeqNum best = config_.initial_seq.prev();  // "no replica has anything"
     for (const auto& [node, seq] : replica_acked_)
         if (seq > best) best = seq;
     return best;
@@ -358,7 +359,7 @@ Actions LoggerCore::on_timer(TimePoint now, TimerId id) {
             if (role_ != LoggerRole::kPrimary || config_.replicas.empty()) return actions;
             bool outstanding = false;
             for (NodeId replica : config_.replicas) {
-                SeqNum acked{0};
+                SeqNum acked = config_.initial_seq.prev();
                 if (auto it = replica_acked_.find(replica); it != replica_acked_.end())
                     acked = it->second;
                 for (SeqNum s = acked.next(); s <= contiguous_; ++s) {

@@ -96,17 +96,20 @@ private:
     Rng rng_;
 
     LogStore store_;
-    SeqNum contiguous_{0};  ///< highest contiguous sequence in the log
+    /// Highest contiguous sequence in the log; starts at
+    /// config_.initial_seq.prev() ("nothing yet"), which stays serially
+    /// behind the stream even across the 2^32 wrap.
+    SeqNum contiguous_;
 
     /// Secondary: stream-gap detection for proactive primary callbacks.
     LossDetector detector_;
 
     /// Secondary: packets we must obtain from upstream.
-    std::map<SeqNum, FetchState> fetch_pending_;
+    std::map<SeqNum, FetchState, SeqNum::WireOrder> fetch_pending_;
     bool fetch_delay_armed_ = false;
 
     /// NACK-count windows keyed by sequence number.
-    std::map<SeqNum, RequestWindow> windows_;
+    std::map<SeqNum, RequestWindow, SeqNum::WireOrder> windows_;
 
     /// Designated-acker state: epochs this logger volunteered for.
     std::map<EpochId, bool> designated_epochs_;

@@ -19,7 +19,15 @@ LossDetector::Observation LossDetector::observe(TimePoint now, SeqNum seq,
 
     if (seq > highest_) {
         // Gap: everything in (highest_, seq) is now known lost or reordered.
-        for (SeqNum s = highest_.next(); s < seq; ++s) {
+        // Bound the gap so one corrupted or far-future number cannot open
+        // up to 2^31 - 1 missing entries; keep only the most recent max_gap_
+        // of them (older ones are unrecoverable at that width anyway).
+        SeqNum gap_start = highest_.next();
+        if (highest_.distance_to(seq) - 1 > max_gap_) {
+            ++gap_overflows_;
+            gap_start = seq.plus(-max_gap_);
+        }
+        for (SeqNum s = gap_start; s < seq; ++s) {
             if (!received_.contains(s) && !missing_.contains(s)) {
                 missing_.emplace(s, now);
                 obs.newly_missing.push_back(s);
@@ -64,7 +72,10 @@ LossDetector::Observation LossDetector::observe(TimePoint now, SeqNum seq,
 std::vector<SeqNum> LossDetector::missing() const {
     std::vector<SeqNum> out;
     out.reserve(missing_.size());
-    for (const auto& [seq, when] : missing_) out.push_back(seq);
+    // Wire order is numeric; walk from the serially oldest entry and wrap.
+    auto start = serial_begin(missing_);
+    for (auto it = start; it != missing_.end(); ++it) out.push_back(it->first);
+    for (auto it = missing_.begin(); it != start; ++it) out.push_back(it->first);
     return out;
 }
 
@@ -76,7 +87,7 @@ std::optional<TimePoint> LossDetector::detected_at(SeqNum seq) const {
 
 void LossDetector::trim_received() {
     while (!received_.empty()) {
-        auto oldest = received_.begin();
+        auto oldest = serial_begin(received_);
         if (oldest->first.distance_to(highest_) > kReceivedWindow)
             received_.erase(oldest);
         else

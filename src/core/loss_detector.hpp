@@ -9,6 +9,13 @@
 // The detector tolerates reordering: a sequence number is only *reported*
 // missing once something later has been seen, and an out-of-order arrival
 // of a previously-missing number retracts it.
+//
+// Robustness: a single corrupted or far-future sequence number must not be
+// able to open an unbounded gap (naively, up to 2^31 - 1 missing entries
+// from one observation).  Gaps wider than `max_gap` are truncated to the
+// most recent `max_gap` numbers -- anything older is unrecoverable at that
+// point anyway -- the overflow is counted, and the stream position resyncs
+// to the observed number.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +30,15 @@ namespace lbrm {
 
 class LossDetector {
 public:
+    /// Widest gap (in sequence numbers) a single observation may open; see
+    /// file comment.  Far larger than any plausible burst in the paper's
+    /// scenarios, far smaller than a corrupted header's 2^31 - 1.
+    static constexpr std::int32_t kDefaultMaxGap = 1024;
+
+    LossDetector() = default;
+    explicit LossDetector(std::int32_t max_gap)
+        : max_gap_(max_gap > 0 ? max_gap : kDefaultMaxGap) {}
+
     /// Outcome of observing one sequence number.
     struct Observation {
         /// Sequence numbers that just became missing (gap opened).
@@ -62,15 +78,22 @@ public:
 
     [[nodiscard]] std::size_t missing_count() const { return missing_.size(); }
 
+    /// Observations whose gap exceeded `max_gap` and was truncated.
+    [[nodiscard]] std::uint64_t gap_overflows() const { return gap_overflows_; }
+
+    [[nodiscard]] std::int32_t max_gap() const { return max_gap_; }
+
 private:
     bool started_ = false;
     SeqNum highest_{};  ///< highest seq proven transmitted
     TimePoint last_heard_{};
-    /// missing seq -> time the gap was detected
-    std::map<SeqNum, TimePoint> missing_;
+    std::int32_t max_gap_ = kDefaultMaxGap;
+    std::uint64_t gap_overflows_ = 0;
+    /// missing seq -> time the gap was detected (WireOrder: see seqnum.hpp)
+    std::map<SeqNum, TimePoint, SeqNum::WireOrder> missing_;
     /// received data seqs within the reorder horizon (duplicate detection);
     /// trimmed to a bounded window behind `highest_`.
-    std::map<SeqNum, bool> received_;
+    std::map<SeqNum, bool, SeqNum::WireOrder> received_;
 
     static constexpr std::int32_t kReceivedWindow = 4096;
 

@@ -5,8 +5,8 @@
 namespace lbrm {
 
 ReceiverCore::ReceiverCore(ReceiverConfig config)
-    : config_(std::move(config)), logger_(config_.logger),
-      expected_gap_(config_.heartbeat.h_min),
+    : config_(std::move(config)), detector_(config_.max_detector_gap),
+      logger_(config_.logger), expected_gap_(config_.heartbeat.h_min),
       jitter_state_(0x9E3779B97F4A7C15ull ^ config_.self.value()) {}
 
 NodeId ReceiverCore::current_logger(TimePoint now) const {

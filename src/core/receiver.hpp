@@ -93,7 +93,7 @@ private:
     RecoveryLevel level_ = RecoveryLevel::kLocal;
     bool primary_query_outstanding_ = false;
 
-    std::map<SeqNum, PendingRecovery> pending_;
+    std::map<SeqNum, PendingRecovery, SeqNum::WireOrder> pending_;
     bool nack_timer_armed_ = false;
 
     bool fresh_ = true;

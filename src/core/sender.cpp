@@ -8,7 +8,9 @@ SenderCore::SenderCore(SenderConfig config)
     : config_(std::move(config)), heartbeat_(config_.heartbeat),
       stat_ack_(config_.self, config_.group, config_.stat_ack),
       flow_(config_.flow_control), next_seq_(config_.initial_seq),
-      primary_(config_.primary_logger == kNoNode ? config_.self : config_.primary_logger) {}
+      primary_(config_.primary_logger == kNoNode ? config_.self : config_.primary_logger),
+      primary_acked_(config_.initial_seq.prev()),
+      replica_acked_(config_.initial_seq.prev()) {}
 
 Actions SenderCore::start(TimePoint now) {
     Actions actions;
@@ -58,8 +60,10 @@ void SenderCore::flush_retained() {
             releasable = floor->prev();
     }
     // The retransmission channel needs payloads until their copies ran out.
-    if (!retx_copies_.empty() && retx_copies_.begin()->first <= releasable)
-        releasable = retx_copies_.begin()->first.prev();
+    if (!retx_copies_.empty()) {
+        const SeqNum oldest = serial_begin(retx_copies_)->first;
+        if (oldest <= releasable) releasable = oldest.prev();
+    }
     retained_.release_through(releasable);
 }
 

@@ -92,10 +92,12 @@ private:
     /// statistical re-multicasts, and direct NACK service when the source
     /// is its own primary).
     LogStore retained_;
-    /// Highest sequence number safely logged at the primary.
-    SeqNum primary_acked_{0};
+    /// Highest sequence number safely logged at the primary.  Starts at
+    /// initial_seq.prev() so the "nothing acked yet" state compares serially
+    /// behind the first packet even when the stream begins near the wrap.
+    SeqNum primary_acked_;
     /// Highest sequence number safely held by a replica.
-    SeqNum replica_acked_{0};
+    SeqNum replica_acked_;
 
     std::uint32_t log_store_retries_ = 0;
 
@@ -104,7 +106,8 @@ private:
     EpochId last_epoch_{0};
 
     /// Retransmission-channel progress: seq -> copies already sent.
-    std::map<SeqNum, std::uint32_t> retx_copies_;
+    /// Wire-ordered (see seqnum.hpp); oldest entry found via serial_begin().
+    std::map<SeqNum, std::uint32_t, SeqNum::WireOrder> retx_copies_;
 
     // Failover progress: index into config_.replicas being tried.
     bool failing_over_ = false;

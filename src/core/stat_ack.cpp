@@ -77,6 +77,16 @@ void StatAckEngine::close_epoch_window(TimePoint now, Actions& actions) {
     active_epoch_ = opening_epoch_;
     active_expected_ = record.expected;
 
+    if (record.expected == 0) {
+        // Zero volunteers: with active_expected_ == 0 no packet gets ACK
+        // accounting, so waiting a whole epoch_interval would leave the
+        // group dark.  Surface the outage and re-solicit soon.
+        actions.push_back(Notice{NoticeKind::kAckerOutage, active_epoch_.value()});
+        actions.push_back(
+            StartTimer{{TimerKind::kEpochRotate, 0}, now + config_.empty_epoch_retry});
+        return;
+    }
+
     actions.push_back(Notice{NoticeKind::kEpochStarted, active_epoch_.value()});
     actions.push_back(
         StartTimer{{TimerKind::kEpochRotate, 0}, now + config_.epoch_interval});

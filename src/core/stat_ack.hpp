@@ -75,7 +75,7 @@ public:
     /// (Section 2.3.2: retain each packet for t_wait after sending).
     [[nodiscard]] std::optional<SeqNum> lowest_pending() const {
         if (pending_.empty()) return std::nullopt;
-        return pending_.begin()->first;
+        return serial_begin(pending_)->first;
     }
 
     [[nodiscard]] Duration t_wait() const;
@@ -84,6 +84,7 @@ public:
     [[nodiscard]] bool probing() const { return estimator_.probing() && !statically_sized_; }
     [[nodiscard]] std::size_t blacklisted_count() const { return blacklist_.size(); }
     [[nodiscard]] std::uint64_t remulticast_decisions() const { return remulticast_decisions_; }
+    [[nodiscard]] const StatAckConfig& config() const { return config_; }
 
     /// Skip probing: the deployment knows its site count (static config).
     void set_group_size(double n_sl);
@@ -129,7 +130,7 @@ private:
     /// Recent epochs (active + the one being opened + one stale for overlap).
     std::map<EpochId, EpochRecord> epochs_;
 
-    std::map<SeqNum, PendingAck> pending_;
+    std::map<SeqNum, PendingAck, SeqNum::WireOrder> pending_;
 
     Ewma t_wait_ewma_;
 

@@ -5,12 +5,29 @@
 // Per-link, per-packet-type statistics feed the paper's bandwidth
 // arguments: the Section 2.2.2 experiments count exactly how many NACKs and
 // repairs cross each tail circuit.
+//
+// Drop accounting:
+//   * drops_queue -- the packet found the queue-delay bound exceeded and
+//     never entered the wire: no bandwidth consumed, no loss roll.
+//   * drops_loss  -- the packet was serialized onto the wire (it occupies
+//     its slot of the busy horizon, congesting later packets) and was then
+//     lost in flight.  Loss is rolled *after* bandwidth accounting so lossy
+//     tail circuits show their true congestion.
+//
+// Burst batching (see DESIGN.md "Link burst batching"): when a burst hits a
+// link whose busy horizon is already in the future, the network layer parks
+// the per-packet arrivals in this link's pending FIFO instead of scheduling
+// one event-queue entry each; a single recurring drain event per link walks
+// the FIFO.  The FIFO stores (arrival time, reserved tiebreak, arrival
+// descriptor) so the drain resumes each delivery at exactly the (time,
+// order) position the unbatched path would have used.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
@@ -52,14 +69,10 @@ public:
 
     /// Account and time one packet handed to this link at `now`.
     /// Returns the arrival time at the far end, or std::nullopt if the
-    /// packet was dropped (loss model or queue overflow).
+    /// packet was dropped (queue overflow or loss model; see file comment
+    /// for the ordering and its accounting consequences).
     std::optional<TimePoint> transmit(Rng& rng, TimePoint now, std::size_t bytes,
                                       PacketType type) {
-        if (loss_->drop(rng, now)) {
-            ++stats_.drops_loss;
-            return std::nullopt;
-        }
-
         Duration serialization = Duration::zero();
         TimePoint depart = now;
         if (spec_.bandwidth_bps > 0.0) {
@@ -68,10 +81,15 @@ public:
             if (spec_.max_queue_delay != Duration::zero() &&
                 start - now > spec_.max_queue_delay) {
                 ++stats_.drops_queue;
-                return std::nullopt;
+                return std::nullopt;  // never entered the wire: no loss roll
             }
             depart = start + serialization;
-            busy_until_ = depart;
+            busy_until_ = depart;  // lost packets still burn wire time
+        }
+
+        if (loss_->drop(rng, now)) {
+            ++stats_.drops_loss;
+            return std::nullopt;
         }
 
         ++stats_.packets;
@@ -79,6 +97,50 @@ public:
         ++stats_.by_type[static_cast<std::size_t>(type)];
         return depart + spec_.propagation;
     }
+
+    /// True when a packet handed over at `now` would queue behind earlier
+    /// traffic -- the condition under which the network batches its arrival
+    /// into the pending FIFO instead of scheduling an event.
+    [[nodiscard]] bool busy(TimePoint now) const { return busy_until_ > now; }
+
+    // --- pending-arrival FIFO (drained by Network::drain_link) ----------
+    // Entries are PODs -- (delivery record, hop, kind) rather than a
+    // std::function -- so a parked burst costs 32 bytes per packet and zero
+    // allocation/indirection churn; Network::dispatch_arrival resumes them.
+    struct PendingArrival {
+        TimePoint at;            ///< arrival time at the far end
+        std::uint64_t tiebreak;  ///< reserved event-queue tiebreak
+        void* delivery;          ///< Network delivery record (opaque here)
+        std::uint32_t hop;       ///< arriving node index
+        std::uint8_t kind;       ///< Network::ArrivalKind
+    };
+
+    void push_pending(TimePoint at, std::uint64_t tiebreak, void* delivery,
+                      std::uint32_t hop, std::uint8_t kind) {
+        pending_.push_back(PendingArrival{at, tiebreak, delivery, hop, kind});
+    }
+
+    [[nodiscard]] bool has_pending() const { return head_ < pending_.size(); }
+
+    [[nodiscard]] const PendingArrival& front_pending() const {
+        return pending_[head_];
+    }
+
+    PendingArrival pop_pending() {
+        PendingArrival out = pending_[head_++];
+        if (head_ == pending_.size()) {  // drained: reuse the buffer
+            pending_.clear();
+            head_ = 0;
+        }
+        return out;
+    }
+
+    /// Recurring drain-event slot handle (0 = not created yet) and whether
+    /// the drain is currently armed.  Owned by the Network layer.
+    [[nodiscard]] std::uint32_t drain_slot() const { return drain_slot_; }
+    void set_drain_slot(std::uint32_t slot) { drain_slot_ = slot; }
+    [[nodiscard]] bool drain_armed() const { return drain_armed_; }
+    void set_drain_armed(bool armed) { drain_armed_ = armed; }
 
     [[nodiscard]] NodeId from() const { return from_; }
     [[nodiscard]] NodeId to() const { return to_; }
@@ -93,6 +155,14 @@ private:
     std::unique_ptr<LossModel> loss_;
     TimePoint busy_until_ = time_zero();
     LinkStats stats_;
+
+    /// Pending arrivals in FIFO order (arrival times are strictly
+    /// non-decreasing: the busy horizon only moves forward).  Flat ring:
+    /// head index + tail pushes, buffer reused once drained.
+    std::vector<PendingArrival> pending_;
+    std::size_t head_ = 0;
+    std::uint32_t drain_slot_ = 0;
+    bool drain_armed_ = false;
 };
 
 }  // namespace lbrm::sim

@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 #include <queue>
 #include <stdexcept>
@@ -19,7 +20,8 @@ namespace {
 }  // namespace
 
 Network::Network(Simulator& simulator, std::uint64_t seed)
-    : simulator_(simulator), rng_(seed) {}
+    : simulator_(simulator), rng_(seed),
+      batching_enabled_(std::getenv("LBRM_SIM_NO_BATCH") == nullptr) {}
 
 Network::~Network() {
     while (deliveries_ != nullptr) destroy(deliveries_);
@@ -189,14 +191,59 @@ void Network::deliver_local(NodeId node, const Packet& packet) {
 }
 
 // ---------------------------------------------------------------------------
+// Link burst batching (DESIGN.md "Link burst batching")
+// ---------------------------------------------------------------------------
+
+void Network::schedule_arrival(Link* l, bool was_busy, TimePoint arrival,
+                               DeliveryBase* d, std::uint32_t hop, ArrivalKind kind) {
+    if (!was_busy) {
+        simulator_.schedule_at(arrival,
+                               [d, hop, kind] { dispatch_arrival(d, hop, kind); });
+        return;
+    }
+    // The packet queued behind earlier traffic: park the arrival in the
+    // link's FIFO under the tiebreak an immediate schedule would have used,
+    // so the drain event fires it at the exact (time, order) position of
+    // the unbatched path.
+    const std::uint64_t tiebreak = simulator_.reserve_tiebreak();
+    if (l->drain_slot() == 0)
+        l->set_drain_slot(simulator_.create_recurring([this, l] { drain_link(l); }));
+    l->push_pending(arrival, tiebreak, d, hop, static_cast<std::uint8_t>(kind));
+    if (!l->drain_armed()) {
+        l->set_drain_armed(true);
+        simulator_.arm_recurring(l->drain_slot(), arrival, tiebreak);
+    }
+}
+
+void Network::drain_link(Link* l) {
+    // A replaced link (add_link over an existing pair) may leave a stale
+    // armed firing behind; the reset armed flag identifies it.
+    if (!l->drain_armed() || !l->has_pending()) return;
+    const Link::PendingArrival entry = l->pop_pending();
+    // Re-arm for the next pending arrival *before* resuming the delivery:
+    // it may transmit on this same link, and any arrival it parks is later
+    // than everything already in the FIFO (the busy horizon only moves
+    // forward), so the FIFO stays sorted and the armed entry is always the
+    // head.
+    if (l->has_pending()) {
+        const Link::PendingArrival& next = l->front_pending();
+        simulator_.arm_recurring(l->drain_slot(), next.at, next.tiebreak);
+    } else {
+        l->set_drain_armed(false);
+    }
+    dispatch_arrival(static_cast<DeliveryBase*>(entry.delivery), entry.hop,
+                     static_cast<ArrivalKind>(entry.kind));
+}
+
+// ---------------------------------------------------------------------------
 // Unicast
 // ---------------------------------------------------------------------------
 
 struct Network::UnicastDelivery final : DeliveryBase {
     UnicastDelivery(Network& n, const Packet& p, std::uint32_t to_index)
-        : net(n), packet(p), bytes(encoded_size(p)), type(p.type()), to(to_index) {}
+        : DeliveryBase(n), packet(p), bytes(encoded_size(p)), type(p.type()),
+          to(to_index) {}
 
-    Network& net;
     Packet packet;
     std::size_t bytes;
     PacketType type;
@@ -223,6 +270,7 @@ void Network::forward_unicast(UnicastDelivery* d, std::uint32_t at) {
         destroy(d);
         return;
     }
+    const bool was_busy = batching_enabled_ && l->busy(simulator_.now());
     auto arrival = l->transmit(rng_, simulator_.now(), d->bytes, d->type);
     if (tap_) tap_(simulator_.now(), *l, d->packet, arrival.has_value());
     if (!arrival) {
@@ -230,7 +278,7 @@ void Network::forward_unicast(UnicastDelivery* d, std::uint32_t at) {
         return;
     }
     const std::uint32_t hop = l->to().value() - 1;
-    simulator_.schedule_at(*arrival, [d, hop] { d->net.unicast_arrive(d, hop); });
+    schedule_arrival(l, was_busy, *arrival, d, hop, ArrivalKind::kUnicast);
 }
 
 void Network::unicast_arrive(UnicastDelivery* d, std::uint32_t at) {
@@ -252,9 +300,9 @@ void Network::unicast_arrive(UnicastDelivery* d, std::uint32_t at) {
 
 struct Network::TreeDelivery final : DeliveryBase {
     TreeDelivery(Network& n, std::shared_ptr<const CachedTree> t, const Packet& p)
-        : net(n), tree(std::move(t)), packet(p), bytes(encoded_size(p)), type(p.type()) {}
+        : DeliveryBase(n), tree(std::move(t)), packet(p), bytes(encoded_size(p)),
+          type(p.type()) {}
 
-    Network& net;
     std::shared_ptr<const CachedTree> tree;  ///< pins the tree across invalidation
     Packet packet;
     std::size_t bytes;
@@ -343,12 +391,12 @@ void Network::multicast(NodeId from, const Packet& packet, McastScope scope) {
 
 void Network::multicast_step(TreeDelivery* d, std::uint32_t at) {
     for (const OutEdge& e : d->tree->edges[at]) {
+        const bool was_busy = batching_enabled_ && e.link->busy(simulator_.now());
         auto arrival = e.link->transmit(rng_, simulator_.now(), d->bytes, d->type);
         if (tap_) tap_(simulator_.now(), *e.link, d->packet, arrival.has_value());
         if (!arrival) continue;
         ++d->pending;
-        simulator_.schedule_at(*arrival,
-                               [d, child = e.to] { d->net.multicast_arrive(d, child); });
+        schedule_arrival(e.link, was_busy, *arrival, d, e.to, ArrivalKind::kMulticast);
     }
 }
 
@@ -362,6 +410,14 @@ void Network::multicast_arrive(TreeDelivery* d, std::uint32_t at) {
 
 void Network::unref(TreeDelivery* d) {
     if (--d->pending == 0) destroy(d);
+}
+
+// Defined here, after both delivery types are complete.
+void Network::dispatch_arrival(DeliveryBase* d, std::uint32_t hop, ArrivalKind kind) {
+    if (kind == ArrivalKind::kMulticast)
+        d->net.multicast_arrive(static_cast<TreeDelivery*>(d), hop);
+    else
+        d->net.unicast_arrive(static_cast<UnicastDelivery*>(d), hop);
 }
 
 // ---------------------------------------------------------------------------

@@ -107,6 +107,13 @@ public:
 
     void reset_link_stats();
 
+    /// Link burst batching (see DESIGN.md): on by default, disabled by the
+    /// LBRM_SIM_NO_BATCH environment variable at construction or by this
+    /// setter (the bench A/Bs both paths in-process).  Both paths produce
+    /// bit-identical delivery times, drop decisions and RNG draw order.
+    void set_batching(bool enabled) { batching_enabled_ = enabled; }
+    [[nodiscard]] bool batching_enabled() const { return batching_enabled_; }
+
 private:
     /// One directed adjacency edge: target node index and the link there.
     struct OutEdge {
@@ -136,12 +143,20 @@ private:
     /// the event queue never ran; event closures hold only a raw pointer
     /// (+ a node index), keeping them inside std::function's small buffer.
     struct DeliveryBase {
+        explicit DeliveryBase(Network& n) : net(n) {}
+        Network& net;
         DeliveryBase* prev = nullptr;
         DeliveryBase* next = nullptr;
         virtual ~DeliveryBase() = default;
     };
     struct UnicastDelivery;
     struct TreeDelivery;
+
+    /// What an in-flight arrival is: enough to resume the delivery without
+    /// a per-arrival std::function.  A (delivery, hop, kind) triple is what
+    /// both the one-shot event closure and the link FIFO store.
+    enum class ArrivalKind : std::uint8_t { kUnicast = 0, kMulticast = 1 };
+    static void dispatch_arrival(DeliveryBase* d, std::uint32_t hop, ArrivalKind kind);
 
     [[nodiscard]] std::size_t index(NodeId id) const { return id.value() - 1; }
     [[nodiscard]] NodeRec& rec(NodeId id) { return nodes_[index(id)]; }
@@ -154,6 +169,15 @@ private:
     void destroy(DeliveryBase* d);
 
     void deliver_local(NodeId node, const Packet& packet);
+
+    /// Schedule the arrival of `d` at hop `hop` for time `arrival`.  When
+    /// the packet queued behind earlier traffic on `l` (was_busy) and
+    /// batching is on, the arrival is parked in the link's pending FIFO
+    /// under a reserved tiebreak and a single recurring drain event walks
+    /// the FIFO; otherwise it is an ordinary one-shot event.
+    void schedule_arrival(Link* l, bool was_busy, TimePoint arrival, DeliveryBase* d,
+                          std::uint32_t hop, ArrivalKind kind);
+    void drain_link(Link* l);
 
     void forward_unicast(UnicastDelivery* d, std::uint32_t at);
     void unicast_arrive(UnicastDelivery* d, std::uint32_t at);
@@ -182,6 +206,7 @@ private:
                        std::array<std::shared_ptr<const CachedTree>, 4>> mcast_cache_;
     DeliveryBase* deliveries_ = nullptr;  ///< intrusive list of in-flight sends
     bool finalized_ = false;
+    bool batching_enabled_ = true;
     Tap tap_;
 };
 

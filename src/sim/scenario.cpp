@@ -8,6 +8,8 @@ DisScenario::DisScenario(ScenarioConfig config)
     : config_(std::move(config)), simulator_(), network_(simulator_, config_.seed),
       topology_(make_dis_topology(network_, config_.topology)) {
     network_.finalize();
+    // Every logger copy made below inherits the stream's sequence anchor.
+    config_.logger_defaults.initial_seq = config_.initial_seq;
 
     wire_source();
     if (config_.use_regional_loggers)
@@ -55,6 +57,7 @@ void DisScenario::wire_source() {
     sender_config.replicas = topology_.replicas;
     sender_config.heartbeat = config_.heartbeat;
     sender_config.stat_ack = config_.stat_ack;
+    sender_config.initial_seq = config_.initial_seq;
     sender_config.heartbeat_carries_small_data = config_.heartbeat_carries_small_data;
     if (config_.use_retrans_channel) {
         sender_config.retrans_channel = retrans_group();

@@ -29,6 +29,11 @@ struct ScenarioConfig {
     StatAckConfig stat_ack;
     Duration max_idle = secs(0.25);
 
+    /// First sequence number of the stream (propagated to the sender and to
+    /// every logger's contiguity anchor).  Tests set this near 2^32 to
+    /// exercise wraparound end to end.
+    SeqNum initial_seq{1};
+
     /// Point receivers at their site's secondary logger (distributed
     /// logging, Section 2.2).  When false every receiver NACKs the primary
     /// directly (the centralized baseline of Figure 7a).
