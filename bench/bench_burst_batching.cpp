@@ -47,6 +47,9 @@ struct RunStats {
     std::uint64_t delivered = 0;
     std::uint64_t heap_schedules = 0;  ///< slab-backed EventQueue::schedule calls
     std::uint64_t events = 0;
+    std::uint64_t tree_builds = 0;       ///< delivery-tree constructions
+    double tree_build_seconds = 0.0;     ///< wall time spent building trees
+    std::size_t tree_cache_bytes = 0;    ///< tree-cache heap at end of run
 
     [[nodiscard]] double delivered_pps() const {
         return static_cast<double>(delivered) / wall_seconds;
@@ -122,9 +125,12 @@ RunStats run_burst(bool batching, std::uint64_t bursts, std::uint64_t burst_size
 /// across the 20 sites (each group = that site's receivers).  Several
 /// rounds, so the one-time tree-construction cost of the first round is
 /// amortized and the steady-state cost under test is the event queue.
-RunStats run_multi_group(bool batching, std::uint64_t groups, std::uint64_t rounds) {
+RunStats run_multi_group(bool batching, std::uint64_t groups, std::uint64_t rounds,
+                         std::size_t tree_cache_cap) {
     Simulator simulator;
-    Network net{simulator, 42};
+    SimConfig sim_config;
+    sim_config.tree_cache_capacity = tree_cache_cap;
+    Network net{simulator, 42, sim_config};
     net.set_batching(batching);
     const DisTopology topo = make_dis_topology(net, bench_spec(10));
     net.finalize();
@@ -154,6 +160,9 @@ RunStats run_multi_group(bool batching, std::uint64_t groups, std::uint64_t roun
     out.delivered = delivered_data(net, topo);
     out.heap_schedules = simulator.events_scheduled();
     out.events = simulator.events_processed();
+    out.tree_builds = net.tree_builds();
+    out.tree_build_seconds = net.tree_build_seconds();
+    out.tree_cache_bytes = net.tree_cache_bytes();
     return out;
 }
 
@@ -207,6 +216,7 @@ int main(int argc, char** argv) {
     std::uint64_t groups = 8000;
     std::uint64_t rounds = 6;
     std::uint64_t repeat = 3;
+    std::uint64_t tree_cache_cap = 0;  // 0 = unbounded
     for (int i = 1; i < argc; ++i) {
         auto next = [&](const char* flag) -> const char* {
             if (i + 1 >= argc) {
@@ -227,6 +237,9 @@ int main(int argc, char** argv) {
             rounds = static_cast<std::uint64_t>(std::atoll(next("--rounds")));
         else if (std::strcmp(argv[i], "--repeat") == 0)
             repeat = static_cast<std::uint64_t>(std::atoll(next("--repeat")));
+        else if (std::strcmp(argv[i], "--tree-cache-cap") == 0)
+            tree_cache_cap =
+                static_cast<std::uint64_t>(std::atoll(next("--tree-cache-cap")));
     }
 
     std::vector<JsonMetric> metrics;
@@ -239,10 +252,28 @@ int main(int argc, char** argv) {
     report("burst_20site", burst_on, burst_off, timestamp, metrics);
 
     title("Burst batching: " + fmt_int(groups) + " groups, one packet each, back-to-back");
-    run_multi_group(true, groups / 4 + 1, 1);  // warm-up
-    const auto [mg_on, mg_off] = best_of_interleaved(
-        repeat, [&](bool b) { return run_multi_group(b, groups, rounds); });
+    run_multi_group(true, groups / 4 + 1, 1, tree_cache_cap);  // warm-up
+    const auto [mg_on, mg_off] = best_of_interleaved(repeat, [&](bool b) {
+        return run_multi_group(b, groups, rounds, tree_cache_cap);
+    });
     report("multi_group", mg_on, mg_off, timestamp, metrics);
+
+    // Tree-construction cost breakdown (the 10k-group workloads this PR
+    // targets used to be dominated by tree builds; track the fraction).
+    const double tree_fraction =
+        mg_on.wall_seconds > 0.0 ? mg_on.tree_build_seconds / mg_on.wall_seconds : 0.0;
+    note("");
+    note("tree builds: " + fmt_int(mg_on.tree_builds) + " in " +
+         fmt(mg_on.tree_build_seconds, 3) + " s (" + fmt(100.0 * tree_fraction, 1) +
+         "% of wall); tree cache: " +
+         fmt(static_cast<double>(mg_on.tree_cache_bytes) / (1024.0 * 1024.0), 2) +
+         " MiB" + (tree_cache_cap != 0 ? " (cap " + fmt_int(tree_cache_cap) + ")" : ""));
+    metrics.push_back({"multi_group", "tree_builds",
+                       static_cast<double>(mg_on.tree_builds), timestamp});
+    metrics.push_back(
+        {"multi_group", "tree_build_wall_fraction", tree_fraction, timestamp});
+    metrics.push_back({"multi_group", "tree_cache_bytes",
+                       static_cast<double>(mg_on.tree_cache_bytes), timestamp});
 
     write_bench_json(json_path, metrics);
     note("");

@@ -1,0 +1,193 @@
+// Routing-scale bench (perf trajectory, not a paper artifact).
+//
+// Measures the tentpole of this PR: hierarchical site/backbone routing
+// tables (DESIGN.md "Hierarchical routing") versus the flat O(n^2)
+// next-hop matrices, on DIS topologies the size the paper argues for --
+// thousands of sites behind tail circuits.
+//
+// Two scenarios:
+//
+//   routing_100k  -- 1,000 sites x 97 receivers (~100k nodes).  Builds the
+//                    hierarchical tables and reports finalize() wall time,
+//                    routing-table bytes, bytes per node and peak RSS.  The
+//                    flat matrices at this size would need n^2 x 12 bytes
+//                    (~120 GB), so their footprint is computed analytically
+//                    and reported as the ratio -- the acceptance criterion
+//                    is >= 10x; the real number is ~500x.
+//   routing_ab    -- a size both schemes can actually run (~10k nodes):
+//                    finalize() wall time and table bytes for each, plus a
+//                    multicast sanity check that both deliver the same
+//                    packet count.
+//
+// Usage:
+//   bench_routing_scale [--json PATH] [--timestamp ISO8601]
+//                       [--sites N] [--receivers N]
+//                       [--ab-sites N] [--ab-receivers N]
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "sim/network.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+using namespace lbrm;
+using namespace lbrm::bench;
+using namespace lbrm::sim;
+
+DisTopologySpec scale_spec(std::uint32_t sites, std::uint32_t receivers_per_site) {
+    DisTopologySpec spec;
+    spec.sites = sites;
+    spec.receivers_per_site = receivers_per_site;
+    return spec;
+}
+
+struct BuildStats {
+    double finalize_seconds = 0.0;
+    std::size_t nodes = 0;
+    std::size_t table_bytes = 0;
+    std::uint64_t delivered = 0;
+};
+
+/// Build the topology, finalize, and fire one site-scoped + one global
+/// multicast so the path and tree machinery is exercised, not just built.
+BuildStats run_build(bool flat, std::uint32_t sites, std::uint32_t receivers,
+                     bool send_traffic) {
+    Simulator simulator;
+    SimConfig config;
+    config.flat_routes = flat;
+    Network net{simulator, 42, config};
+    const DisTopology topo = make_dis_topology(net, scale_spec(sites, receivers));
+
+    const auto start = std::chrono::steady_clock::now();
+    net.finalize();
+    const auto stop = std::chrono::steady_clock::now();
+
+    BuildStats out;
+    out.finalize_seconds = std::chrono::duration<double>(stop - start).count();
+    out.nodes = net.node_count();
+    out.table_bytes = net.routing_table_bytes();
+
+    if (send_traffic) {
+        const GroupId group{1};
+        for (NodeId r : topo.all_receivers()) net.join(group, r);
+        std::uint32_t seq = 0;
+        for (McastScope scope : {McastScope::kGlobal, McastScope::kSite})
+            net.multicast(topo.source,
+                          Packet{Header{group, topo.source, topo.source},
+                                 DataBody{SeqNum{++seq}, EpochId{0},
+                                          std::vector<std::uint8_t>(64, 0xEE)}},
+                          scope);
+        simulator.run_for(secs(5.0));
+        for (const auto& site : topo.sites)
+            for (NodeId r : site.receivers)
+                out.delivered +=
+                    net.link(site.router, r)->stats().packets_of(PacketType::kData);
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string json_path = "BENCH_simcore.json";
+    std::string timestamp = "unspecified";
+    std::uint32_t sites = 1000;
+    std::uint32_t receivers = 97;  // 1000 x (router + secondary + 97) + 5 = ~99k
+    std::uint32_t ab_sites = 100;
+    std::uint32_t ab_receivers = 97;
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::printf("missing value for %s\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--json") == 0) json_path = next("--json");
+        else if (std::strcmp(argv[i], "--timestamp") == 0) timestamp = next("--timestamp");
+        else if (std::strcmp(argv[i], "--sites") == 0)
+            sites = static_cast<std::uint32_t>(std::atoi(next("--sites")));
+        else if (std::strcmp(argv[i], "--receivers") == 0)
+            receivers = static_cast<std::uint32_t>(std::atoi(next("--receivers")));
+        else if (std::strcmp(argv[i], "--ab-sites") == 0)
+            ab_sites = static_cast<std::uint32_t>(std::atoi(next("--ab-sites")));
+        else if (std::strcmp(argv[i], "--ab-receivers") == 0)
+            ab_receivers = static_cast<std::uint32_t>(std::atoi(next("--ab-receivers")));
+    }
+
+    std::vector<JsonMetric> metrics;
+
+    title("Hierarchical routing at scale: " + fmt_int(sites) + " sites x " +
+          fmt_int(receivers) + " receivers");
+    const BuildStats big = run_build(/*flat=*/false, sites, receivers,
+                                     /*send_traffic=*/true);
+    // The flat matrices would hold n^2 next-hop entries (4B) + n^2 link
+    // pointers (8B); computed analytically because at 100k nodes that is
+    // ~120 GB and cannot be allocated.
+    const double flat_bytes =
+        static_cast<double>(big.nodes) * static_cast<double>(big.nodes) * 12.0;
+    const double ratio = flat_bytes / static_cast<double>(big.table_bytes);
+    const double rss_mib = static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
+
+    Table table({"nodes", "finalize s", "table MiB", "B/node", "flat MiB", "ratio"});
+    table.row({fmt_int(big.nodes), fmt(big.finalize_seconds, 3),
+               fmt(static_cast<double>(big.table_bytes) / (1024.0 * 1024.0), 1),
+               fmt(static_cast<double>(big.table_bytes) / static_cast<double>(big.nodes), 1),
+               fmt(flat_bytes / (1024.0 * 1024.0), 0), fmt(ratio, 0) + "x"});
+    note("");
+    note("delivered sanity: " + fmt_int(big.delivered) + " packets; peak RSS " +
+         fmt(rss_mib, 1) + " MiB");
+
+    metrics.push_back({"routing_scale", "nodes",
+                       static_cast<double>(big.nodes), timestamp});
+    metrics.push_back(
+        {"routing_scale", "finalize_seconds_hier", big.finalize_seconds, timestamp});
+    metrics.push_back({"routing_scale", "routing_table_bytes_hier",
+                       static_cast<double>(big.table_bytes), timestamp});
+    metrics.push_back({"routing_scale", "routing_table_bytes_per_node",
+                       static_cast<double>(big.table_bytes) /
+                           static_cast<double>(big.nodes),
+                       timestamp});
+    metrics.push_back(
+        {"routing_scale", "routing_table_bytes_flat_computed", flat_bytes, timestamp});
+    metrics.push_back({"routing_scale", "flat_to_hier_memory_ratio", ratio, timestamp});
+    metrics.push_back({"routing_scale", "peak_rss_bytes",
+                       static_cast<double>(peak_rss_bytes()), timestamp});
+
+    title("Flat vs hierarchical A/B: " + fmt_int(ab_sites) + " sites x " +
+          fmt_int(ab_receivers) + " receivers");
+    const BuildStats hier = run_build(/*flat=*/false, ab_sites, ab_receivers,
+                                      /*send_traffic=*/true);
+    const BuildStats flat = run_build(/*flat=*/true, ab_sites, ab_receivers,
+                                      /*send_traffic=*/true);
+    Table ab({"scheme", "nodes", "finalize s", "table MiB", "delivered"});
+    ab.row({"hier", fmt_int(hier.nodes), fmt(hier.finalize_seconds, 3),
+            fmt(static_cast<double>(hier.table_bytes) / (1024.0 * 1024.0), 1),
+            fmt_int(hier.delivered)});
+    ab.row({"flat", fmt_int(flat.nodes), fmt(flat.finalize_seconds, 3),
+            fmt(static_cast<double>(flat.table_bytes) / (1024.0 * 1024.0), 1),
+            fmt_int(flat.delivered)});
+    if (hier.delivered != flat.delivered) {
+        note("ERROR: schemes delivered different packet counts");
+        return 1;
+    }
+
+    metrics.push_back(
+        {"routing_ab", "finalize_seconds_hier", hier.finalize_seconds, timestamp});
+    metrics.push_back(
+        {"routing_ab", "finalize_seconds_flat", flat.finalize_seconds, timestamp});
+    metrics.push_back({"routing_ab", "routing_table_bytes_hier",
+                       static_cast<double>(hier.table_bytes), timestamp});
+    metrics.push_back({"routing_ab", "routing_table_bytes_flat",
+                       static_cast<double>(flat.table_bytes), timestamp});
+
+    write_bench_json(json_path, metrics);
+    note("");
+    note("JSON written to " + json_path);
+    for (const auto& m : metrics) note(json_metric_line(m));
+    return 0;
+}

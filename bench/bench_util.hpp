@@ -8,7 +8,28 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace lbrm::bench {
+
+/// Peak resident set size of this process so far, in bytes (0 when the
+/// platform offers no getrusage).  ru_maxrss is kilobytes on Linux and
+/// bytes on macOS.
+inline std::size_t peak_rss_bytes() {
+#if defined(__APPLE__)
+    rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+    return static_cast<std::size_t>(usage.ru_maxrss);
+#elif defined(__unix__)
+    rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+    return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#else
+    return 0;
+#endif
+}
 
 inline void title(const std::string& text) {
     std::printf("\n=== %s ===\n\n", text.c_str());

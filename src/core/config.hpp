@@ -12,6 +12,26 @@
 
 namespace lbrm {
 
+/// Simulator-substrate knobs consumed by sim::Network (see DESIGN.md
+/// "Hierarchical routing").  These tune memory/speed trade-offs of the
+/// simulated internetwork, not protocol behaviour: every setting produces
+/// identical packet timings, drop decisions and RNG draw order.
+struct SimConfig {
+    /// Route with the flat O(n^2) next-hop matrices instead of the two-level
+    /// site/backbone tables.  The LBRM_SIM_FLAT_ROUTES environment variable
+    /// forces this on at Network construction (A/B escape hatch).
+    bool flat_routes = false;
+
+    /// Bound on the on-demand cache of cross-site node-to-node next hops
+    /// (LRU eviction).  0 = unbounded.
+    std::size_t path_cache_capacity = 65536;
+
+    /// Bound on the number of cached multicast delivery trees across all
+    /// (group, sender, scope) keys (LRU eviction; invalidation on
+    /// join/leave/node-down/finalize is unaffected).  0 = unbounded.
+    std::size_t tree_cache_capacity = 0;
+};
+
 /// Variable-heartbeat parameters (Section 2.1).  The defaults are the
 /// paper's running example: h_min = 0.25 s, h_max = 32 s, backoff = 2.
 struct HeartbeatConfig {

@@ -67,6 +67,18 @@ public:
         loss_ = model ? std::move(model) : std::make_unique<NoLoss>();
     }
 
+    /// Re-spec this cable direction in place (Network::add_link over an
+    /// existing pair).  Live traffic state survives -- the busy horizon,
+    /// parked pending arrivals and the recurring-drain bookkeeping all
+    /// belong to packets already handed to the wire, which must complete
+    /// exactly as scheduled -- and accumulated stats are kept (it is the
+    /// same cable, re-provisioned).  The loss model resets to NoLoss, as
+    /// for a newly added link.
+    void respec(const LinkSpec& spec) {
+        spec_ = spec;
+        loss_ = std::make_unique<NoLoss>();
+    }
+
     /// Account and time one packet handed to this link at `now`.
     /// Returns the arrival time at the far end, or std::nullopt if the
     /// packet was dropped (queue overflow or loss model; see file comment

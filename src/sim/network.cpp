@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <limits>
 #include <queue>
@@ -12,15 +13,34 @@ namespace lbrm::sim {
 
 namespace {
 
+constexpr std::int64_t kInfDist = std::numeric_limits<std::int64_t>::max();
+
+/// Edge weight: propagation + 1 microsecond hop penalty (prefers fewer
+/// hops between equal-latency paths, keeping routes deterministic).  The
+/// flat and hierarchical schemes share this metric exactly, which is what
+/// makes their paths identical.
+[[nodiscard]] std::int64_t edge_weight(const Link* l) {
+    return l->spec().propagation.count() + 1000;
+}
+
 /// Multicast-tree cache key: (group id, sender id) packed into 64 bits.
 [[nodiscard]] std::uint64_t tree_key(GroupId group, NodeId sender) {
     return (static_cast<std::uint64_t>(group.value()) << 32) | sender.value();
 }
 
+/// Path-cache key: (from node index, to node index) packed into 64 bits.
+[[nodiscard]] std::uint64_t path_key(std::uint32_t from, std::uint32_t to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
 }  // namespace
 
-Network::Network(Simulator& simulator, std::uint64_t seed)
+Network::Network(Simulator& simulator, std::uint64_t seed, SimConfig config)
     : simulator_(simulator), rng_(seed),
+      path_cache_capacity_(config.path_cache_capacity),
+      tree_cache_capacity_(config.tree_cache_capacity),
+      flat_routes_requested_(config.flat_routes ||
+                             std::getenv("LBRM_SIM_FLAT_ROUTES") != nullptr),
       batching_enabled_(std::getenv("LBRM_SIM_NO_BATCH") == nullptr) {}
 
 Network::~Network() {
@@ -40,6 +60,11 @@ void Network::destroy(DeliveryBase* d) {
     delete d;
 }
 
+void Network::reserve(std::size_t nodes, std::size_t directed_links) {
+    nodes_.reserve(nodes);
+    links_.reserve(directed_links);
+}
+
 NodeId Network::add_node(SiteId site, bool is_router) {
     NodeRec record;
     record.site = site;
@@ -54,7 +79,7 @@ void Network::add_link(NodeId a, NodeId b, const LinkSpec& spec) {
         throw std::invalid_argument("Network::add_link: bad endpoints");
     auto install = [this, &spec](NodeId from, NodeId to) {
         if (Link* existing = link(from, to)) {
-            *existing = Link{from, to, spec};
+            existing->respec(spec);
             return;
         }
         links_.push_back(std::make_unique<Link>(from, to, spec));
@@ -63,6 +88,12 @@ void Network::add_link(NodeId a, NodeId b, const LinkSpec& spec) {
     };
     install(a, b);
     install(b, a);
+    // A changed edge can invalidate any cached tree or cached path, so both
+    // caches drop immediately -- not just at the next finalize().  In-flight
+    // deliveries keep their pinned trees and complete on the pre-change
+    // routes, as before.
+    invalidate_all_trees();
+    clear_path_cache();
     finalized_ = false;
 }
 
@@ -73,8 +104,13 @@ void Network::set_loss(NodeId a, NodeId b, std::unique_ptr<LossModel> model) {
 }
 
 void Network::set_node_down(NodeId node, bool down) {
-    if (rec(node).down != down) mcast_cache_.clear();
+    if (rec(node).down != down) invalidate_all_trees();
     rec(node).down = down;
+    // The path cache is untouched: routes are a pure function of the tables
+    // built at the last finalize(), which ignore later down transitions (a
+    // downed relay blackholes until re-finalize, like an unconverged
+    // routing protocol).  Trees must drop because membership pruning *does*
+    // consult liveness at build time.
 }
 
 Link* Network::link(NodeId a, NodeId b) {
@@ -93,28 +129,52 @@ const Link* Network::link(NodeId a, NodeId b) const {
 
 SiteId Network::site_of(NodeId node) const { return rec(node).site; }
 
+// ---------------------------------------------------------------------------
+// Routing: finalize() builds either the flat matrices or the hierarchical
+// site/backbone tables (DESIGN.md "Hierarchical routing").
+// ---------------------------------------------------------------------------
+
 void Network::finalize() {
+    invalidate_all_trees();
+    clear_path_cache();
+    built_flat_ = flat_routes_requested_;
+    if (built_flat_) {
+        // Release the hierarchical tables (mode may have flipped).
+        std::vector<SiteTable>().swap(site_tables_);
+        std::vector<std::uint32_t>().swap(node_site_);
+        std::vector<std::uint32_t>().swap(node_local_);
+        std::vector<std::uint32_t>().swap(border_nodes_);
+        std::vector<std::uint32_t>().swap(node_border_);
+        std::vector<std::int64_t>().swap(bb_dist_);
+        std::vector<std::uint32_t>().swap(bb_next_node_);
+        std::vector<Link*>().swap(bb_next_link_);
+        build_flat_routes();
+    } else {
+        std::vector<std::uint32_t>().swap(routes_);
+        std::vector<Link*>().swap(route_links_);
+        build_hierarchical_routes();
+    }
+    finalized_ = true;
+}
+
+void Network::build_flat_routes() {
     const std::size_t n = nodes_.size();
     routes_.assign(n * n, 0);
     route_links_.assign(n * n, nullptr);
-    mcast_cache_.clear();
 
-    // Dijkstra from every node; weight = propagation + 1 microsecond hop
-    // penalty (prefers fewer hops between equal-latency paths, keeping
-    // routes deterministic).
-    using Dist = std::int64_t;
-    constexpr Dist kInf = std::numeric_limits<Dist>::max();
-    std::vector<Dist> dist(n);
+    // Dijkstra from every node.  A down node may still be an endpoint but
+    // never relays: its edges are not expanded unless it is the source.
+    std::vector<std::int64_t> dist(n);
     std::vector<std::uint32_t> first_hop(n);
     std::vector<Link*> first_link(n);
 
     for (std::size_t src = 0; src < n; ++src) {
-        std::fill(dist.begin(), dist.end(), kInf);
+        std::fill(dist.begin(), dist.end(), kInfDist);
         std::fill(first_hop.begin(), first_hop.end(), 0u);
         std::fill(first_link.begin(), first_link.end(), nullptr);
         dist[src] = 0;
 
-        using QE = std::pair<Dist, std::uint32_t>;  // (distance, node index)
+        using QE = std::pair<std::int64_t, std::uint32_t>;  // (distance, node index)
         std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
         pq.emplace(0, static_cast<std::uint32_t>(src));
 
@@ -122,9 +182,10 @@ void Network::finalize() {
             auto [d, u] = pq.top();
             pq.pop();
             if (d != dist[u]) continue;
+            if (u != src && nodes_[u].down) continue;  // no transit via dead nodes
             for (const OutEdge& e : nodes_[u].out_links) {
                 const std::size_t v = e.to;
-                const Dist w = e.link->spec().propagation.count() + 1000;  // +1us per hop
+                const std::int64_t w = edge_weight(e.link);
                 if (d + w < dist[v]) {
                     dist[v] = d + w;
                     first_hop[v] = (u == src) ? static_cast<std::uint32_t>(v + 1)
@@ -139,14 +200,257 @@ void Network::finalize() {
             route_links_[src * n + dst] = first_link[dst];
         }
     }
-    finalized_ = true;
 }
 
-NodeId Network::next_hop(NodeId from, NodeId to) const {
-    if (!finalized_) throw std::logic_error("Network: finalize() before sending traffic");
-    const std::uint32_t hop = routes_[index(from) * nodes_.size() + index(to)];
-    return hop == 0 ? kNoNode : NodeId{hop};
+void Network::build_hierarchical_routes() {
+    const std::size_t n = nodes_.size();
+
+    // 1. Group nodes into dense site indices (first-appearance order).
+    site_tables_.clear();
+    node_site_.assign(n, 0);
+    node_local_.assign(n, 0);
+    std::unordered_map<std::uint32_t, std::uint32_t> site_index;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t key = nodes_[i].site.value();
+        auto [it, inserted] = site_index.emplace(
+            key, static_cast<std::uint32_t>(site_tables_.size()));
+        if (inserted) site_tables_.emplace_back();
+        SiteTable& table = site_tables_[it->second];
+        node_site_[i] = it->second;
+        node_local_[i] = static_cast<std::uint32_t>(table.nodes.size());
+        table.nodes.push_back(static_cast<std::uint32_t>(i));
+    }
+
+    // 2. Border nodes: any node with an inter-site link (ascending index).
+    border_nodes_.clear();
+    node_border_.assign(n, kNoIndex);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const OutEdge& e : nodes_[i].out_links) {
+            if (node_site_[e.to] != node_site_[i]) {
+                node_border_[i] = static_cast<std::uint32_t>(border_nodes_.size());
+                border_nodes_.push_back(static_cast<std::uint32_t>(i));
+                site_tables_[node_site_[i]].borders.push_back(
+                    static_cast<std::uint32_t>(i));
+                break;
+            }
+        }
+    }
+
+    // 3. Per-site all-pairs tables: Dijkstra from each site node over the
+    //    site's own subgraph (same dead-relay rule as the flat scheme).
+    std::vector<std::int64_t> dist;
+    std::vector<std::uint32_t> first_hop;
+    std::vector<Link*> first_link;
+    for (SiteTable& table : site_tables_) {
+        const std::size_t m = table.size();
+        table.dist.assign(m * m, kInfDist);
+        table.next.assign(m * m, kNoIndex);
+        table.next_link.assign(m * m, nullptr);
+        dist.assign(m, kInfDist);
+        first_hop.assign(m, kNoIndex);
+        first_link.assign(m, nullptr);
+
+        for (std::size_t src = 0; src < m; ++src) {
+            std::fill(dist.begin(), dist.end(), kInfDist);
+            std::fill(first_hop.begin(), first_hop.end(), kNoIndex);
+            std::fill(first_link.begin(), first_link.end(), nullptr);
+            dist[src] = 0;
+
+            using QE = std::pair<std::int64_t, std::uint32_t>;  // (distance, local index)
+            std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+            pq.emplace(0, static_cast<std::uint32_t>(src));
+            while (!pq.empty()) {
+                auto [d, u] = pq.top();
+                pq.pop();
+                if (d != dist[u]) continue;
+                const std::uint32_t gu = table.nodes[u];
+                if (u != src && nodes_[gu].down) continue;
+                for (const OutEdge& e : nodes_[gu].out_links) {
+                    if (node_site_[e.to] != node_site_[gu]) continue;  // intra only
+                    const std::uint32_t v = node_local_[e.to];
+                    const std::int64_t w = edge_weight(e.link);
+                    if (d + w < dist[v]) {
+                        dist[v] = d + w;
+                        first_hop[v] = (u == src) ? e.to : first_hop[u];
+                        first_link[v] = (u == src) ? e.link : first_link[u];
+                        pq.emplace(dist[v], v);
+                    }
+                }
+            }
+            for (std::size_t dst = 0; dst < m; ++dst) {
+                table.dist[src * m + dst] = dist[dst];
+                table.next[src * m + dst] = first_hop[dst];
+                table.next_link[src * m + dst] = first_link[dst];
+            }
+        }
+    }
+
+    // 4. Backbone all-pairs over the border nodes.  Edges: real inter-site
+    //    links, plus one virtual edge per same-site border pair weighted by
+    //    the intra-site distance -- so inter-border travel *through* a
+    //    site's interior is represented and the composed metric is exact.
+    //    The first physical hop of each virtual edge is resolved through
+    //    the intra-site table at build time, making descent O(1).
+    const std::size_t nb = border_nodes_.size();
+    bb_dist_.assign(nb * nb, kInfDist);
+    bb_next_node_.assign(nb * nb, kNoIndex);
+    bb_next_link_.assign(nb * nb, nullptr);
+
+    std::vector<std::int64_t> bdist(nb);
+    std::vector<std::uint32_t> bfirst_node(nb);
+    std::vector<Link*> bfirst_link(nb);
+    for (std::size_t src = 0; src < nb; ++src) {
+        std::fill(bdist.begin(), bdist.end(), kInfDist);
+        std::fill(bfirst_node.begin(), bfirst_node.end(), kNoIndex);
+        std::fill(bfirst_link.begin(), bfirst_link.end(), nullptr);
+        bdist[src] = 0;
+
+        using QE = std::pair<std::int64_t, std::uint32_t>;  // (distance, border index)
+        std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+        pq.emplace(0, static_cast<std::uint32_t>(src));
+        while (!pq.empty()) {
+            auto [d, u] = pq.top();
+            pq.pop();
+            if (d != bdist[u]) continue;
+            const std::uint32_t gu = border_nodes_[u];
+            if (u != src && nodes_[gu].down) continue;
+
+            // Real inter-site links (adjacency order, as in the flat scheme).
+            for (const OutEdge& e : nodes_[gu].out_links) {
+                if (node_site_[e.to] == node_site_[gu]) continue;
+                const std::uint32_t v = node_border_[e.to];  // inter-site => border
+                const std::int64_t w = edge_weight(e.link);
+                if (d + w < bdist[v]) {
+                    bdist[v] = d + w;
+                    bfirst_node[v] = (u == src) ? e.to : bfirst_node[u];
+                    bfirst_link[v] = (u == src) ? e.link : bfirst_link[u];
+                    pq.emplace(bdist[v], v);
+                }
+            }
+            // Virtual intra-site edges to the site's other borders.
+            const SiteTable& table = site_tables_[node_site_[gu]];
+            const std::size_t m = table.size();
+            const std::size_t lu = node_local_[gu];
+            for (const std::uint32_t gv : table.borders) {
+                if (gv == gu) continue;
+                const std::int64_t w = table.dist[lu * m + node_local_[gv]];
+                if (w == kInfDist) continue;
+                const std::uint32_t v = node_border_[gv];
+                if (d + w < bdist[v]) {
+                    bdist[v] = d + w;
+                    bfirst_node[v] = (u == src)
+                                         ? table.next[lu * m + node_local_[gv]]
+                                         : bfirst_node[u];
+                    bfirst_link[v] = (u == src)
+                                         ? table.next_link[lu * m + node_local_[gv]]
+                                         : bfirst_link[u];
+                    pq.emplace(bdist[v], v);
+                }
+            }
+        }
+        for (std::size_t dst = 0; dst < nb; ++dst) {
+            bb_dist_[src * nb + dst] = bdist[dst];
+            bb_next_node_[src * nb + dst] = bfirst_node[dst];
+            bb_next_link_[src * nb + dst] = bfirst_link[dst];
+        }
+    }
 }
+
+Network::Hop Network::compose_hop(std::uint32_t from, std::uint32_t to) const {
+    const std::uint32_t su = node_site_[from];
+    const std::uint32_t sv = node_site_[to];
+    const SiteTable& stu = site_tables_[su];
+    const SiteTable& stv = site_tables_[sv];
+    const std::size_t mu = stu.size();
+    const std::size_t mv = stv.size();
+    const std::size_t lu = node_local_[from];
+    const std::size_t lv = node_local_[to];
+    const std::size_t nb = border_nodes_.size();
+
+    std::int64_t best = kInfDist;
+    Hop choice;
+
+    // Candidate 1: stay inside the shared site.
+    if (su == sv) {
+        const std::int64_t d = stu.dist[lu * mu + lv];
+        if (d < kInfDist) {
+            best = d;
+            choice = Hop{stu.next[lu * mu + lv], stu.next_link[lu * mu + lv]};
+        }
+    }
+
+    // Candidate 2: exit via border b1, cross the backbone, enter via b2.
+    // (For same-site pairs this also covers leave-and-return paths.)  Down
+    // borders never relay, but may still be the endpoint itself.
+    for (const std::uint32_t b1 : stu.borders) {
+        if (nodes_[b1].down && b1 != from) continue;
+        const std::int64_t du = (b1 == from) ? 0 : stu.dist[lu * mu + node_local_[b1]];
+        if (du == kInfDist || du >= best) continue;
+        const std::size_t row = node_border_[b1] * nb;
+        for (const std::uint32_t b2 : stv.borders) {
+            if (nodes_[b2].down && b2 != to) continue;
+            const std::int64_t bb = bb_dist_[row + node_border_[b2]];
+            if (bb == kInfDist) continue;
+            const std::int64_t dv =
+                (b2 == to) ? 0 : stv.dist[node_local_[b2] * mv + lv];
+            if (dv == kInfDist) continue;
+            const std::int64_t total = du + bb + dv;
+            if (total >= best) continue;
+            best = total;
+            if (from != b1) {
+                const std::size_t idx = lu * mu + node_local_[b1];
+                choice = Hop{stu.next[idx], stu.next_link[idx]};
+            } else if (b1 != b2) {
+                const std::size_t idx = row + node_border_[b2];
+                choice = Hop{bb_next_node_[idx], bb_next_link_[idx]};
+            } else {  // from is both exit and entry border: pure intra tail
+                const std::size_t idx = node_local_[b2] * mv + lv;
+                choice = Hop{stv.next[idx], stv.next_link[idx]};
+            }
+        }
+    }
+    return choice;
+}
+
+Network::Hop Network::hop_toward(std::uint32_t from, std::uint32_t to) {
+    // No finalized_ check here: the traffic entry points enforce it, and
+    // in-flight deliveries must keep forwarding on the (stale) tables after
+    // a mid-run add_link, exactly as the flat matrices kept serving.
+    if (from == to) return Hop{};
+    if (built_flat_) {
+        const std::size_t n = nodes_.size();
+        const std::uint32_t hop = routes_[from * n + to];
+        if (hop == 0) return Hop{};
+        return Hop{hop - 1, route_links_[from * n + to]};
+    }
+    // Same-site next hops come straight from the intra-site matrices; only
+    // cross-site compositions go through the LRU path cache.
+    if (node_site_[from] == node_site_[to]) return compose_hop(from, to);
+
+    const std::uint64_t key = path_key(from, to);
+    auto it = path_cache_.find(key);
+    if (it != path_cache_.end()) {
+        path_lru_.splice(path_lru_.begin(), path_lru_, it->second.lru);
+        return it->second.hop;
+    }
+    const Hop hop = compose_hop(from, to);
+    path_lru_.push_front(key);
+    path_cache_.emplace(key, PathEntry{hop, path_lru_.begin()});
+    if (path_cache_capacity_ != 0 && path_cache_.size() > path_cache_capacity_) {
+        path_cache_.erase(path_lru_.back());
+        path_lru_.pop_back();
+    }
+    return hop;
+}
+
+void Network::clear_path_cache() {
+    path_cache_.clear();
+    path_lru_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Membership & tree-cache bookkeeping
+// ---------------------------------------------------------------------------
 
 void Network::join(GroupId group, NodeId node) {
     groups_[group].insert(node);
@@ -161,18 +465,54 @@ void Network::leave(GroupId group, NodeId node) {
 
 void Network::invalidate_trees_for(GroupId group) {
     for (auto it = mcast_cache_.begin(); it != mcast_cache_.end();) {
-        if ((it->first >> 32) == group.value())
+        if ((it->first >> 32) == group.value()) {
+            for (TreeSlot& slot : it->second) {
+                if (slot.tree) {
+                    tree_lru_.erase(slot.lru);
+                    slot.tree.reset();
+                    --cached_trees_;
+                }
+            }
             it = mcast_cache_.erase(it);
-        else
+        } else {
             ++it;
+        }
     }
 }
 
-std::size_t Network::cached_tree_count() const {
+void Network::invalidate_all_trees() {
+    mcast_cache_.clear();
+    tree_lru_.clear();
+    cached_trees_ = 0;
+}
+
+void Network::enforce_tree_cache_bound() {
+    if (tree_cache_capacity_ == 0) return;
+    while (cached_trees_ > tree_cache_capacity_) {
+        const TreeRef victim = tree_lru_.back();
+        tree_lru_.pop_back();
+        auto it = mcast_cache_.find(victim.key);
+        auto& by_scope = it->second;
+        by_scope[victim.scope].tree.reset();
+        --cached_trees_;
+        const bool empty = std::none_of(by_scope.begin(), by_scope.end(),
+                                        [](const TreeSlot& s) { return bool(s.tree); });
+        if (empty) mcast_cache_.erase(it);
+    }
+}
+
+void Network::set_tree_cache_capacity(std::size_t capacity) {
+    tree_cache_capacity_ = capacity;
+    enforce_tree_cache_bound();
+}
+
+std::size_t Network::tree_cache_bytes() const {
     std::size_t total = 0;
-    for (const auto& [key, by_scope] : mcast_cache_)
-        for (const auto& tree : by_scope)
-            if (tree) ++total;
+    for (const auto& [key, by_scope] : mcast_cache_) {
+        total += sizeof(key) + sizeof(by_scope) + 16;  // node + bucket overhead
+        for (const TreeSlot& slot : by_scope)
+            if (slot.tree) total += slot.tree->bytes() + sizeof(TreeRef) + 16;
+    }
     return total;
 }
 
@@ -216,8 +556,6 @@ void Network::schedule_arrival(Link* l, bool was_busy, TimePoint arrival,
 }
 
 void Network::drain_link(Link* l) {
-    // A replaced link (add_link over an existing pair) may leave a stale
-    // armed firing behind; the reset armed flag identifies it.
     if (!l->drain_armed() || !l->has_pending()) return;
     const Link::PendingArrival entry = l->pop_pending();
     // Re-arm for the next pending arrival *before* resuming the delivery:
@@ -265,20 +603,19 @@ void Network::unicast(NodeId from, NodeId to, const Packet& packet) {
 }
 
 void Network::forward_unicast(UnicastDelivery* d, std::uint32_t at) {
-    Link* l = route_links_[at * nodes_.size() + d->to];
-    if (l == nullptr) {  // unreachable
+    const Hop h = hop_toward(at, d->to);
+    if (h.link == nullptr) {  // unreachable
         destroy(d);
         return;
     }
-    const bool was_busy = batching_enabled_ && l->busy(simulator_.now());
-    auto arrival = l->transmit(rng_, simulator_.now(), d->bytes, d->type);
-    if (tap_) tap_(simulator_.now(), *l, d->packet, arrival.has_value());
+    const bool was_busy = batching_enabled_ && h.link->busy(simulator_.now());
+    auto arrival = h.link->transmit(rng_, simulator_.now(), d->bytes, d->type);
+    if (tap_) tap_(simulator_.now(), *h.link, d->packet, arrival.has_value());
     if (!arrival) {
         destroy(d);
         return;
     }
-    const std::uint32_t hop = l->to().value() - 1;
-    schedule_arrival(l, was_busy, *arrival, d, hop, ArrivalKind::kUnicast);
+    schedule_arrival(h.link, was_busy, *arrival, d, h.next, ArrivalKind::kUnicast);
 }
 
 void Network::unicast_arrive(UnicastDelivery* d, std::uint32_t at) {
@@ -311,11 +648,36 @@ struct Network::TreeDelivery final : DeliveryBase {
 };
 
 std::shared_ptr<const Network::CachedTree> Network::build_tree(
-    NodeId from, const std::set<NodeId>& members, McastScope scope) const {
+    NodeId from, const std::set<NodeId>& members, McastScope scope) {
+    const auto t0 = std::chrono::steady_clock::now();
     const std::size_t n = nodes_.size();
     auto tree = std::make_shared<CachedTree>();
-    tree->edges.resize(n);
-    tree->member.assign(n, 0);
+
+    // Scratch: node index -> tree entry slot, generation-marked.
+    if (tree_mark_.size() != n) {
+        tree_mark_.assign(n, 0);
+        tree_slot_.assign(n, 0);
+        tree_epoch_ = 0;
+    }
+    if (++tree_epoch_ == 0) {  // generation counter wrapped: hard reset
+        std::fill(tree_mark_.begin(), tree_mark_.end(), 0u);
+        tree_epoch_ = 1;
+    }
+
+    std::vector<std::pair<std::uint32_t, std::uint8_t>> entries;  // (node, member)
+    std::vector<std::vector<CachedTree::Child>> kids;  // per entry, insertion order
+    auto slot_of = [&](std::uint32_t node) {
+        if (tree_mark_[node] != tree_epoch_) {
+            tree_mark_[node] = tree_epoch_;
+            tree_slot_[node] = static_cast<std::uint32_t>(entries.size());
+            entries.emplace_back(node, 0);
+            kids.emplace_back();
+        }
+        return tree_slot_[node];
+    };
+
+    const std::uint32_t from_index = static_cast<std::uint32_t>(index(from));
+    slot_of(from_index);  // root = entry 0
 
     // Hop budget per scope: site scope is bounded by the site-containment
     // check below (a site never spans more hops than its own LAN); region
@@ -326,25 +688,27 @@ std::shared_ptr<const Network::CachedTree> Network::build_tree(
                                       ? 4u
                                       : std::numeric_limits<std::size_t>::max();
 
-    const std::uint32_t from_index = static_cast<std::uint32_t>(index(from));
     std::vector<std::uint32_t> path;
+    std::vector<Link*> path_links;
     for (NodeId member : members) {
         if (member == from || rec(member).down) continue;
         if (scope == McastScope::kSite && site_of(member) != sender_site) continue;
 
-        // Walk the unicast route; collect the node-index chain.
-        const std::size_t member_index = index(member);
+        // Walk the route hop by hop; collect the node chain and its links.
+        const std::uint32_t member_index = static_cast<std::uint32_t>(index(member));
         path.assign(1, from_index);
+        path_links.clear();
         std::uint32_t at = from_index;
         bool reachable = true;
         while (at != member_index) {
-            const std::uint32_t hop = routes_[at * n + member_index];
-            if (hop == 0) {
+            const Hop h = hop_toward(at, member_index);
+            if (h.next == kNoIndex) {
                 reachable = false;
                 break;
             }
-            path.push_back(hop - 1);
-            at = hop - 1;
+            path.push_back(h.next);
+            path_links.push_back(h.link);
+            at = h.next;
             if (path.size() > n) {
                 reachable = false;  // routing loop guard
                 break;
@@ -358,17 +722,39 @@ std::shared_ptr<const Network::CachedTree> Network::build_tree(
             if (!stays) continue;
         }
 
-        tree->member[member_index] = 1;
+        entries[slot_of(member_index)].second = 1;
         tree->any_members = true;
         for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-            auto& kids = tree->edges[path[i]];
-            const std::uint32_t child = path[i + 1];
-            if (std::find_if(kids.begin(), kids.end(), [child](const OutEdge& e) {
-                    return e.to == child;
-                }) == kids.end())
-                kids.push_back(OutEdge{child, route_links_[path[i] * n + member_index]});
+            const std::uint32_t parent = slot_of(path[i]);
+            const std::uint32_t child = slot_of(path[i + 1]);
+            auto& siblings = kids[parent];
+            if (std::find_if(siblings.begin(), siblings.end(),
+                             [child](const CachedTree::Child& c) {
+                                 return c.entry == child;
+                             }) == siblings.end())
+                siblings.push_back(CachedTree::Child{child, path_links[i]});
         }
     }
+
+    // Flatten to CSR, preserving per-node child insertion order (the
+    // delivery transmit order, and hence the RNG draw order).
+    tree->nodes.reserve(entries.size());
+    std::size_t child_count = 0;
+    for (const auto& k : kids) child_count += k.size();
+    tree->children.reserve(child_count);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        CachedTree::Node node;
+        node.node = entries[i].first;
+        node.member = entries[i].second;
+        node.child_begin = static_cast<std::uint32_t>(tree->children.size());
+        tree->children.insert(tree->children.end(), kids[i].begin(), kids[i].end());
+        node.child_end = static_cast<std::uint32_t>(tree->children.size());
+        tree->nodes.push_back(node);
+    }
+
+    ++tree_builds_;
+    tree_build_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     return tree;
 }
 
@@ -378,31 +764,45 @@ void Network::multicast(NodeId from, const Packet& packet, McastScope scope) {
     auto git = groups_.find(packet.header.group);
     if (git == groups_.end()) return;
 
-    auto& by_scope = mcast_cache_[tree_key(packet.header.group, from)];
-    auto& slot = by_scope[static_cast<std::size_t>(scope)];
-    if (!slot) slot = build_tree(from, git->second, scope);
-    if (!slot->any_members) return;
+    const std::uint64_t key = tree_key(packet.header.group, from);
+    auto& by_scope = mcast_cache_[key];
+    TreeSlot& slot = by_scope[static_cast<std::size_t>(scope)];
+    if (!slot.tree) {
+        slot.tree = build_tree(from, git->second, scope);
+        tree_lru_.push_front(TreeRef{key, static_cast<std::uint8_t>(scope)});
+        slot.lru = tree_lru_.begin();
+        ++cached_trees_;
+        enforce_tree_cache_bound();  // never evicts the just-inserted head
+    } else {
+        tree_lru_.splice(tree_lru_.begin(), tree_lru_, slot.lru);
+    }
+    const std::shared_ptr<const CachedTree> tree = slot.tree;
+    if (!tree->any_members) return;
 
-    auto* d = new TreeDelivery(*this, slot, packet);
+    auto* d = new TreeDelivery(*this, tree, packet);
     track(d);
-    multicast_step(d, static_cast<std::uint32_t>(index(from)));
+    multicast_step(d, 0);  // entry 0 = the sender
     unref(d);  // drop the sending frame's reference
 }
 
 void Network::multicast_step(TreeDelivery* d, std::uint32_t at) {
-    for (const OutEdge& e : d->tree->edges[at]) {
-        const bool was_busy = batching_enabled_ && e.link->busy(simulator_.now());
-        auto arrival = e.link->transmit(rng_, simulator_.now(), d->bytes, d->type);
-        if (tap_) tap_(simulator_.now(), *e.link, d->packet, arrival.has_value());
+    const CachedTree::Node& node = d->tree->nodes[at];
+    for (std::uint32_t c = node.child_begin; c != node.child_end; ++c) {
+        const CachedTree::Child& child = d->tree->children[c];
+        const bool was_busy = batching_enabled_ && child.link->busy(simulator_.now());
+        auto arrival = child.link->transmit(rng_, simulator_.now(), d->bytes, d->type);
+        if (tap_) tap_(simulator_.now(), *child.link, d->packet, arrival.has_value());
         if (!arrival) continue;
         ++d->pending;
-        schedule_arrival(e.link, was_busy, *arrival, d, e.to, ArrivalKind::kMulticast);
+        schedule_arrival(child.link, was_busy, *arrival, d, child.entry,
+                         ArrivalKind::kMulticast);
     }
 }
 
 void Network::multicast_arrive(TreeDelivery* d, std::uint32_t at) {
-    if (!nodes_[at].down) {
-        if (d->tree->member[at]) deliver_local(NodeId{at + 1}, d->packet);
+    const CachedTree::Node& node = d->tree->nodes[at];
+    if (!nodes_[node.node].down) {
+        if (node.member) deliver_local(NodeId{node.node + 1}, d->packet);
         multicast_step(d, at);
     }
     unref(d);
@@ -423,6 +823,32 @@ void Network::dispatch_arrival(DeliveryBase* d, std::uint32_t hop, ArrivalKind k
 // ---------------------------------------------------------------------------
 // Introspection
 // ---------------------------------------------------------------------------
+
+std::size_t Network::routing_table_bytes() const {
+    if (built_flat_)
+        return routes_.capacity() * sizeof(std::uint32_t) +
+               route_links_.capacity() * sizeof(Link*);
+
+    std::size_t total = 0;
+    for (const SiteTable& t : site_tables_) {
+        total += t.nodes.capacity() * sizeof(std::uint32_t) +
+                 t.borders.capacity() * sizeof(std::uint32_t) +
+                 t.dist.capacity() * sizeof(std::int64_t) +
+                 t.next.capacity() * sizeof(std::uint32_t) +
+                 t.next_link.capacity() * sizeof(Link*) + sizeof(SiteTable);
+    }
+    total += node_site_.capacity() * sizeof(std::uint32_t) +
+             node_local_.capacity() * sizeof(std::uint32_t) +
+             border_nodes_.capacity() * sizeof(std::uint32_t) +
+             node_border_.capacity() * sizeof(std::uint32_t);
+    total += bb_dist_.capacity() * sizeof(std::int64_t) +
+             bb_next_node_.capacity() * sizeof(std::uint32_t) +
+             bb_next_link_.capacity() * sizeof(Link*);
+    // Path cache: entry + key + list node + hash-table overhead estimate.
+    total += path_cache_.size() *
+             (sizeof(std::uint64_t) * 2 + sizeof(PathEntry) + 2 * sizeof(void*) + 16);
+    return total;
+}
 
 std::uint64_t Network::count_packets(PacketType type,
                                      const std::function<bool(const Link&)>& pred) const {

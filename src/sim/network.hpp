@@ -8,12 +8,19 @@
 // TTL-limited repairs and discovery rings) prunes the tree: site scope never
 // leaves the sender's site; region scope is hop-limited.
 //
-// Fast-path layout (see DESIGN.md "Simulator performance"): delivery trees
-// are cached per (group, sender, scope) and invalidated on membership or
-// topology change; routing is a flat next-hop matrix with a parallel
-// next-link matrix so the per-hop forwarding step does no associative
-// lookups; per-send state is a single heap allocation whose event closures
-// fit std::function's small-buffer size.
+// Routing is hierarchical by default (see DESIGN.md "Hierarchical
+// routing"), mirroring the paper's two-level site/backbone topology:
+// per-site intra-site shortest-path tables compose with an inter-site
+// backbone table over the border nodes, for O(sites^2 + sum site_size^2)
+// memory instead of the flat O(n^2) matrices.  Cross-site next hops are
+// resolved on demand through an LRU-bounded path cache.  The flat matrices
+// remain available behind SimConfig::flat_routes / LBRM_SIM_FLAT_ROUTES and
+// produce identical paths, delivery times and RNG draw order.
+//
+// Delivery trees are cached per (group, sender, scope) behind an optional
+// LRU bound (SimConfig::tree_cache_capacity) and invalidated on membership
+// or topology change; per-send state is a single heap allocation whose
+// event closures fit std::function's small-buffer size.
 //
 // Protocol endpoints attach as SimHost objects (see sim_host.hpp); the
 // network delivers decoded packets to them and provides their timers via
@@ -23,6 +30,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <optional>
@@ -33,6 +41,7 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "core/actions.hpp"
+#include "core/config.hpp"
 #include "packet/packet.hpp"
 #include "sim/link.hpp"
 #include "sim/simulator.hpp"
@@ -47,25 +56,36 @@ class SimHost;
 
 class Network {
 public:
-    Network(Simulator& simulator, std::uint64_t seed);
+    Network(Simulator& simulator, std::uint64_t seed, SimConfig config = {});
 
     Network(const Network&) = delete;
     Network& operator=(const Network&) = delete;
     ~Network();
 
     // --- construction ----------------------------------------------------
+    /// Pre-size internal storage for a known topology (large benches).
+    void reserve(std::size_t nodes, std::size_t directed_links);
+
     /// Add a node; returns its id (ids are assigned 1, 2, 3, ...).
     NodeId add_node(SiteId site, bool is_router = false);
 
     /// Add a bidirectional cable: two directed links with the same spec.
-    /// Re-adding an existing pair replaces both directed links.
+    /// Re-adding an existing pair re-specs both directed links in place
+    /// (live traffic state survives; see Link::respec) and, like a new
+    /// link, drops every cached tree and cached path -- a changed edge may
+    /// invalidate any of them -- and requires finalize() before new
+    /// traffic.
     void add_link(NodeId a, NodeId b, const LinkSpec& spec);
 
     /// Replace the loss model of the directed link a -> b.
     void set_loss(NodeId a, NodeId b, std::unique_ptr<LossModel> model);
 
-    /// Mark a node dead/alive (a dead node neither sends nor receives --
-    /// models logger crashes for the Section 2.2.3 failover experiments).
+    /// Mark a node dead/alive.  A dead node neither sends nor receives --
+    /// models logger crashes for the Section 2.2.3 failover experiments --
+    /// and, from the next finalize() on, no longer relays transit traffic
+    /// (so re-finalizing after downing a router routes around it).  Routes
+    /// computed while it was up keep forwarding into it until then, exactly
+    /// as a real network blackholes until the routing protocol reconverges.
     void set_node_down(NodeId node, bool down);
 
     /// Compute routing tables.  Must be called after the last add_link and
@@ -93,8 +113,24 @@ public:
     [[nodiscard]] Simulator& simulator() { return simulator_; }
 
     /// Cached multicast delivery trees currently held (tests use this to
-    /// observe cache hits and invalidation).
-    [[nodiscard]] std::size_t cached_tree_count() const;
+    /// observe cache hits, LRU eviction and invalidation).
+    [[nodiscard]] std::size_t cached_tree_count() const { return cached_trees_; }
+    /// Approximate heap bytes held by the cached trees (cache-bound sizing).
+    [[nodiscard]] std::size_t tree_cache_bytes() const;
+    /// Lifetime count of delivery-tree constructions and the wall time they
+    /// took (the bench_burst_batching --groups cost breakdown).
+    [[nodiscard]] std::uint64_t tree_builds() const { return tree_builds_; }
+    [[nodiscard]] double tree_build_seconds() const { return tree_build_seconds_; }
+    /// Re-bound the tree cache at runtime (evicts LRU down to the new cap).
+    void set_tree_cache_capacity(std::size_t capacity);
+
+    /// Bytes held by the routing tables of the active scheme (flat matrices
+    /// or hierarchical site/backbone tables + path cache).
+    [[nodiscard]] std::size_t routing_table_bytes() const;
+    /// Entries currently held by the cross-site path cache (0 in flat mode).
+    [[nodiscard]] std::size_t path_cache_entries() const { return path_cache_.size(); }
+    /// Whether finalize() built the flat matrices (escape hatch active).
+    [[nodiscard]] bool flat_routes() const { return built_flat_; }
 
     /// Observation tap invoked for every packet put on any link (after the
     /// loss/queue decision, with `delivered` telling the outcome).
@@ -115,6 +151,9 @@ public:
     [[nodiscard]] bool batching_enabled() const { return batching_enabled_; }
 
 private:
+    /// "No node index" sentinel for the routing tables.
+    static constexpr std::uint32_t kNoIndex = 0xFFFFFFFFu;
+
     /// One directed adjacency edge: target node index and the link there.
     struct OutEdge {
         std::uint32_t to;  ///< node index
@@ -129,19 +168,56 @@ private:
         std::vector<OutEdge> out_links;
     };
 
+    /// A resolved forwarding step: the next node index on the shortest path
+    /// and the link that reaches it.  {kNoIndex, nullptr} = unreachable.
+    struct Hop {
+        std::uint32_t next = kNoIndex;
+        Link* link = nullptr;
+    };
+
+    /// Per-site routing table (hierarchical scheme): all-pairs shortest
+    /// paths over the site's own subgraph, plus the site's border nodes
+    /// (nodes with at least one inter-site link).  `next` stores global
+    /// node indices so descent never translates back and forth.
+    struct SiteTable {
+        std::vector<std::uint32_t> nodes;    ///< global node indices, in site order
+        std::vector<std::uint32_t> borders;  ///< global node indices, ascending
+        std::vector<std::int64_t> dist;      ///< size*size; kInfDist = unreachable
+        std::vector<std::uint32_t> next;     ///< size*size; kNoIndex = none
+        std::vector<Link*> next_link;        ///< size*size
+        [[nodiscard]] std::size_t size() const { return nodes.size(); }
+    };
+
     /// A multicast shortest-path tree rooted at one sender, pruned to one
-    /// scope, with links pre-resolved.  Immutable once built; shared by all
-    /// in-flight deliveries that were started while it was current.
+    /// scope.  Stored in CSR form over *tree* entries (not all n nodes), so
+    /// a 10-member site-scope tree costs tens of entries, not O(n) vectors.
+    /// Immutable once built; shared by all in-flight deliveries that were
+    /// started while it was current.  Arrival events carry the entry index.
     struct CachedTree {
-        std::vector<std::vector<OutEdge>> edges;  ///< tree children by node index
-        std::vector<std::uint8_t> member;         ///< 1 = deliver locally here
+        struct Node {
+            std::uint32_t node;         ///< global node index
+            std::uint8_t member;        ///< 1 = deliver locally here
+            std::uint32_t child_begin;  ///< [begin, end) into `children`
+            std::uint32_t child_end;
+        };
+        struct Child {
+            std::uint32_t entry;  ///< child's index into `nodes`
+            Link* link;
+        };
+        std::vector<Node> nodes;  ///< entry 0 = the sender (root)
+        std::vector<Child> children;
         bool any_members = false;
+
+        [[nodiscard]] std::size_t bytes() const {
+            return sizeof(CachedTree) + nodes.capacity() * sizeof(Node) +
+                   children.capacity() * sizeof(Child);
+        }
     };
 
     /// Base for in-flight per-send delivery state.  Deliveries are owned by
     /// the network through an intrusive list so ~Network reclaims whatever
     /// the event queue never ran; event closures hold only a raw pointer
-    /// (+ a node index), keeping them inside std::function's small buffer.
+    /// (+ a hop index), keeping them inside std::function's small buffer.
     struct DeliveryBase {
         explicit DeliveryBase(Network& n) : net(n) {}
         Network& net;
@@ -154,7 +230,9 @@ private:
 
     /// What an in-flight arrival is: enough to resume the delivery without
     /// a per-arrival std::function.  A (delivery, hop, kind) triple is what
-    /// both the one-shot event closure and the link FIFO store.
+    /// both the one-shot event closure and the link FIFO store.  For
+    /// unicast `hop` is the arriving node index; for multicast it is the
+    /// arriving CachedTree entry index.
     enum class ArrivalKind : std::uint8_t { kUnicast = 0, kMulticast = 1 };
     static void dispatch_arrival(DeliveryBase* d, std::uint32_t hop, ArrivalKind kind);
 
@@ -162,8 +240,17 @@ private:
     [[nodiscard]] NodeRec& rec(NodeId id) { return nodes_[index(id)]; }
     [[nodiscard]] const NodeRec& rec(NodeId id) const { return nodes_[index(id)]; }
 
-    /// Next hop from `from` toward `to`; kNoNode when unreachable.
-    [[nodiscard]] NodeId next_hop(NodeId from, NodeId to) const;
+    // --- routing ---------------------------------------------------------
+    void build_flat_routes();
+    void build_hierarchical_routes();
+
+    /// Next forwarding step from node index `from` toward `to`; consults
+    /// the flat matrices or the hierarchical tables + path cache.
+    [[nodiscard]] Hop hop_toward(std::uint32_t from, std::uint32_t to);
+    /// Uncached hierarchical composition: intra-site candidate vs the best
+    /// (exit border, entry border) pair through the backbone.
+    [[nodiscard]] Hop compose_hop(std::uint32_t from, std::uint32_t to) const;
+    void clear_path_cache();
 
     void track(DeliveryBase* d);
     void destroy(DeliveryBase* d);
@@ -183,8 +270,10 @@ private:
     void unicast_arrive(UnicastDelivery* d, std::uint32_t at);
 
     [[nodiscard]] std::shared_ptr<const CachedTree> build_tree(
-        NodeId from, const std::set<NodeId>& members, McastScope scope) const;
+        NodeId from, const std::set<NodeId>& members, McastScope scope);
     void invalidate_trees_for(GroupId group);
+    void invalidate_all_trees();
+    void enforce_tree_cache_bound();
     void multicast_step(TreeDelivery* d, std::uint32_t at);
     void multicast_arrive(TreeDelivery* d, std::uint32_t at);
     void unref(TreeDelivery* d);
@@ -194,18 +283,67 @@ private:
     std::vector<NodeRec> nodes_;
     std::vector<std::unique_ptr<Link>> links_;  ///< creation order; adjacency points here
     std::map<GroupId, std::set<NodeId>> groups_;
-    /// routes_[src_index * n + dst_index] = next hop id value (0 = none).
+
+    // --- flat routing (escape hatch) -------------------------------------
+    /// routes_[src_index * n + dst_index] = next hop id value (0 = none);
+    /// route_links_ holds the link toward that hop.  Only populated when
+    /// finalize() built the flat scheme.
     std::vector<std::uint32_t> routes_;
-    /// route_links_[src_index * n + dst_index] = link toward that next hop
-    /// (nullptr = unreachable).  Built by finalize(); O(1) per-hop lookup.
     std::vector<Link*> route_links_;
-    /// Delivery-tree cache: key packs (group << 32 | sender id); the array
-    /// is indexed by McastScope.  Invalidated on join/leave (that group),
-    /// set_node_down and finalize (all groups).
-    std::unordered_map<std::uint64_t,
-                       std::array<std::shared_ptr<const CachedTree>, 4>> mcast_cache_;
+
+    // --- hierarchical routing --------------------------------------------
+    std::vector<SiteTable> site_tables_;
+    std::vector<std::uint32_t> node_site_;   ///< dense site index per node
+    std::vector<std::uint32_t> node_local_;  ///< index within the site
+    std::vector<std::uint32_t> border_nodes_;  ///< global node index per border
+    std::vector<std::uint32_t> node_border_;   ///< border index; kNoIndex = interior
+    /// Backbone all-pairs tables over the border nodes (B x B): distance,
+    /// plus the first *physical* hop (node + link) toward each border --
+    /// virtual intra-site backbone edges are pre-descended at build time.
+    std::vector<std::int64_t> bb_dist_;
+    std::vector<std::uint32_t> bb_next_node_;
+    std::vector<Link*> bb_next_link_;
+
+    /// Cross-site next-hop cache: key (from << 32 | to) -> resolved hop,
+    /// LRU-bounded by SimConfig::path_cache_capacity (0 = unbounded).
+    struct PathEntry {
+        Hop hop;
+        std::list<std::uint64_t>::iterator lru;
+    };
+    std::unordered_map<std::uint64_t, PathEntry> path_cache_;
+    std::list<std::uint64_t> path_lru_;  ///< most-recent first; values = keys
+    std::size_t path_cache_capacity_;
+
+    // --- multicast tree cache --------------------------------------------
+    /// Key packs (group << 32 | sender id); the array is indexed by
+    /// McastScope.  Invalidated on join/leave (that group), set_node_down,
+    /// add_link and finalize (all groups); LRU-evicted past
+    /// tree_cache_capacity_ (0 = unbounded).
+    struct TreeRef {
+        std::uint64_t key;
+        std::uint8_t scope;
+    };
+    struct TreeSlot {
+        std::shared_ptr<const CachedTree> tree;
+        std::list<TreeRef>::iterator lru;  ///< valid only while `tree` is set
+    };
+    std::unordered_map<std::uint64_t, std::array<TreeSlot, 4>> mcast_cache_;
+    std::list<TreeRef> tree_lru_;  ///< most-recently-used first
+    std::size_t tree_cache_capacity_;
+    std::size_t cached_trees_ = 0;
+    std::uint64_t tree_builds_ = 0;
+    double tree_build_seconds_ = 0.0;
+
+    /// build_tree scratch: node -> tree entry slot, generation-marked so a
+    /// build never pays an O(n) clear.
+    std::vector<std::uint32_t> tree_mark_;
+    std::vector<std::uint32_t> tree_slot_;
+    std::uint32_t tree_epoch_ = 0;
+
     DeliveryBase* deliveries_ = nullptr;  ///< intrusive list of in-flight sends
     bool finalized_ = false;
+    bool flat_routes_requested_;
+    bool built_flat_ = false;
     bool batching_enabled_ = true;
     Tap tap_;
 };

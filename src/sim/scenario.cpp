@@ -5,7 +5,8 @@
 namespace lbrm::sim {
 
 DisScenario::DisScenario(ScenarioConfig config)
-    : config_(std::move(config)), simulator_(), network_(simulator_, config_.seed),
+    : config_(std::move(config)), simulator_(),
+      network_(simulator_, config_.seed, config_.sim),
       topology_(make_dis_topology(network_, config_.topology)) {
     network_.finalize();
     // Every logger copy made below inherits the stream's sequence anchor.

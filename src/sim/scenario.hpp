@@ -25,6 +25,10 @@ struct ScenarioConfig {
     GroupId group{1};
     std::uint64_t seed = 42;
 
+    /// Simulator-substrate knobs (routing scheme, cache bounds).  Purely a
+    /// memory/speed trade-off: results are identical for every setting.
+    SimConfig sim;
+
     HeartbeatConfig heartbeat;
     StatAckConfig stat_ack;
     Duration max_idle = secs(0.25);

@@ -19,6 +19,19 @@ const DisTopology::Region* DisTopology::region_of_site(std::size_t site_index) c
 DisTopology make_dis_topology(Network& network, const DisTopologySpec& spec) {
     DisTopology topo;
 
+    // Pre-size node and link storage (every node below adds exactly one
+    // cable = two directed links), so 100k-node benches do not pay vector
+    // regrowth during construction.
+    const std::size_t region_count =
+        spec.sites_per_region > 0
+            ? (spec.sites + spec.sites_per_region - 1) / spec.sites_per_region
+            : 0;
+    const std::size_t node_count =
+        3 + spec.replicas + 2 * region_count +
+        static_cast<std::size_t>(spec.sites) *
+            (1 + (spec.secondary_logger_per_site ? 1 : 0) + spec.receivers_per_site);
+    network.reserve(node_count, 2 * (node_count - 1));
+
     const LinkSpec lan{spec.lan_delay, spec.lan_bandwidth_bps, Duration::zero()};
     const LinkSpec tail{spec.tail_delay, spec.tail_bandwidth_bps, spec.tail_queue_limit};
     const LinkSpec backbone_link{spec.backbone_delay, spec.backbone_bandwidth_bps,

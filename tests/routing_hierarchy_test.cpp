@@ -1,0 +1,294 @@
+// A/B identity tests for the two routing schemes (DESIGN.md "Hierarchical
+// routing"): the hierarchical site/backbone tables must produce exactly the
+// paths, delivery times, drop decisions and RNG draw order of the flat
+// O(n^2) matrices on every workload.  Each test runs the identical scenario
+// under both schemes (SimConfig::flat_routes, the LBRM_SIM_FLAT_ROUTES
+// escape hatch's programmatic form) and compares full fingerprints --
+// per-packet tap traces or end-to-end protocol records -- for equality.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/loss_model.hpp"
+#include "sim/network.hpp"
+#include "sim/scenario.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+using namespace lbrm;
+using namespace lbrm::sim;
+
+/// One tap observation, exact to the nanosecond: enough to detect any
+/// divergence in path choice, timing, ordering or loss decisions.
+struct TapEvent {
+    std::int64_t at_ns;
+    std::uint32_t from;
+    std::uint32_t to;
+    std::uint8_t type;
+    bool delivered;
+
+    bool operator==(const TapEvent& o) const {
+        return at_ns == o.at_ns && from == o.from && to == o.to && type == o.type &&
+               delivered == o.delivered;
+    }
+};
+
+void record_taps(Network& net, std::vector<TapEvent>& out) {
+    net.set_tap([&out](TimePoint t, const Link& link, const Packet& p, bool delivered) {
+        out.push_back(TapEvent{t.time_since_epoch().count(), link.from().value(),
+                               link.to().value(), static_cast<std::uint8_t>(p.type()),
+                               delivered});
+    });
+}
+
+// --- raw-network A/B: scoped multicast + unicast on the DIS topology --------
+
+/// Fire a mixed workload (global/site/region multicast from several senders
+/// plus cross-site unicasts) and return the full tap trace.
+std::vector<TapEvent> run_network_workload(bool flat, std::uint32_t sites_per_region) {
+    Simulator sim;
+    SimConfig config;
+    config.flat_routes = flat;
+    Network net{sim, 1234, config};
+    DisTopologySpec spec;
+    spec.sites = 6;
+    spec.receivers_per_site = 4;
+    spec.sites_per_region = sites_per_region;
+    const DisTopology topo = make_dis_topology(net, spec);
+    net.finalize();
+
+    // Light Bernoulli loss on one tail so RNG draw order is part of the
+    // fingerprint, not just the deterministic paths.  Site 2's upstream is
+    // the backbone, or its region's router when the regional tier exists.
+    const NodeId upstream = sites_per_region > 0
+                                ? topo.regions[2 / sites_per_region].router
+                                : topo.backbone;
+    net.set_loss(upstream, topo.sites[2].router, std::make_unique<BernoulliLoss>(0.2));
+
+    const GroupId group{1};
+    for (NodeId r : topo.all_receivers()) net.join(group, r);
+    for (const auto& site : topo.sites)
+        if (site.secondary != kNoNode) net.join(group, site.secondary);
+
+    std::vector<TapEvent> taps;
+    record_taps(net, taps);
+
+    std::uint32_t seq = 0;
+    auto send = [&](NodeId from, McastScope scope) {
+        net.multicast(from,
+                      Packet{Header{group, topo.source, from},
+                             DataBody{SeqNum{++seq}, EpochId{0}, {1, 2, 3}}},
+                      scope);
+        sim.run_for(millis(50));
+    };
+    send(topo.source, McastScope::kGlobal);
+    send(topo.sites[0].secondary, McastScope::kSite);
+    send(topo.sites[3].secondary, McastScope::kRegion);
+    send(topo.sites[5].receivers[0], McastScope::kGlobal);
+    net.unicast(topo.sites[1].receivers[2], topo.sites[4].receivers[3],
+                Packet{Header{group, topo.source, topo.sites[1].receivers[2]},
+                       PrimaryQueryBody{}});
+    net.unicast(topo.sites[4].receivers[1], topo.source,
+                Packet{Header{group, topo.source, topo.sites[4].receivers[1]},
+                       PrimaryQueryBody{}});
+    sim.run_for(secs(1.0));
+    return taps;
+}
+
+TEST(RoutingAB, ScopedMulticastAndUnicastTraceIdentical) {
+    const auto hier = run_network_workload(/*flat=*/false, /*sites_per_region=*/0);
+    const auto flat = run_network_workload(/*flat=*/true, /*sites_per_region=*/0);
+    ASSERT_EQ(hier.size(), flat.size());
+    for (std::size_t i = 0; i < hier.size(); ++i)
+        ASSERT_TRUE(hier[i] == flat[i]) << "trace diverges at event " << i;
+}
+
+TEST(RoutingAB, RegionalTierTraceIdentical) {
+    const auto hier = run_network_workload(/*flat=*/false, /*sites_per_region=*/2);
+    const auto flat = run_network_workload(/*flat=*/true, /*sites_per_region=*/2);
+    ASSERT_EQ(hier.size(), flat.size());
+    for (std::size_t i = 0; i < hier.size(); ++i)
+        ASSERT_TRUE(hier[i] == flat[i]) << "trace diverges at event " << i;
+}
+
+// --- full-protocol A/B: the 20-site scenario ---------------------------------
+
+struct ScenarioFingerprint {
+    std::vector<std::string> deliveries;
+    std::vector<std::string> notices;
+    std::uint64_t events_processed = 0;
+};
+
+ScenarioFingerprint run_scenario(bool flat) {
+    ScenarioConfig config;
+    config.topology.sites = 20;
+    config.topology.receivers_per_site = 5;
+    config.sim.flat_routes = flat;
+    config.seed = 99;
+    DisScenario scenario(config);
+
+    // Loss on two tails so the whole recovery machinery (NACKs, repairs,
+    // heartbeats, stat-acks) runs and its RNG draws enter the fingerprint.
+    scenario.network().set_loss(scenario.topology().backbone,
+                                scenario.topology().sites[4].router,
+                                std::make_unique<BernoulliLoss>(0.3));
+    scenario.network().set_loss(scenario.topology().backbone,
+                                scenario.topology().sites[11].router,
+                                std::make_unique<BernoulliLoss>(0.3));
+
+    scenario.start();
+    for (int i = 0; i < 20; ++i) {
+        scenario.send_update(128);
+        scenario.run_for(millis(37));
+    }
+    scenario.run_for(secs(10.0));
+
+    ScenarioFingerprint fp;
+    for (const auto& d : scenario.deliveries())
+        fp.deliveries.push_back(std::to_string(d.node.value()) + ":" +
+                                std::to_string(d.seq.value()) + "@" +
+                                std::to_string(d.at.time_since_epoch().count()) +
+                                (d.recovered ? "r" : ""));
+    for (const auto& n : scenario.notices())
+        fp.notices.push_back(std::to_string(n.node.value()) + ":" +
+                             std::to_string(static_cast<int>(n.kind)) + ":" +
+                             std::to_string(n.arg) + "@" +
+                             std::to_string(n.at.time_since_epoch().count()));
+    fp.events_processed = scenario.simulator().events_processed();
+    return fp;
+}
+
+TEST(RoutingAB, TwentySiteScenarioBitIdentical) {
+    const ScenarioFingerprint hier = run_scenario(/*flat=*/false);
+    const ScenarioFingerprint flat = run_scenario(/*flat=*/true);
+    EXPECT_EQ(hier.events_processed, flat.events_processed);
+    ASSERT_EQ(hier.deliveries.size(), flat.deliveries.size());
+    EXPECT_EQ(hier.deliveries, flat.deliveries);
+    EXPECT_EQ(hier.notices, flat.notices);
+}
+
+// --- downed router forcing a backbone detour ---------------------------------
+
+/// Two sites, each with two border routers and redundant inter-site cables:
+///
+///   a_host -- a_r1 ---- b_r1 -- b_host
+///        \___ a_r2 ---- b_r2 ___/
+///
+/// The r1 corridor is faster, so traffic prefers it; downing a_r1 and
+/// re-finalizing must detour everything over the r2 corridor, in both
+/// schemes, with identical traces.
+struct DetourNet {
+    Simulator sim;
+    Network net;
+    NodeId a_host, a_r1, a_r2, b_host, b_r1, b_r2;
+
+    explicit DetourNet(bool flat)
+        : net(sim, 7, [&] {
+              SimConfig c;
+              c.flat_routes = flat;
+              return c;
+          }()) {
+        a_host = net.add_node(SiteId{1});
+        a_r1 = net.add_node(SiteId{1}, /*is_router=*/true);
+        a_r2 = net.add_node(SiteId{1}, /*is_router=*/true);
+        b_host = net.add_node(SiteId{2});
+        b_r1 = net.add_node(SiteId{2}, /*is_router=*/true);
+        b_r2 = net.add_node(SiteId{2}, /*is_router=*/true);
+        const LinkSpec fast{millis(1), 0.0, Duration::zero()};
+        const LinkSpec slow{millis(3), 0.0, Duration::zero()};
+        net.add_link(a_host, a_r1, fast);
+        net.add_link(a_host, a_r2, fast);
+        net.add_link(b_host, b_r1, fast);
+        net.add_link(b_host, b_r2, fast);
+        net.add_link(a_r1, b_r1, fast);  // preferred corridor
+        net.add_link(a_r2, b_r2, slow);  // detour corridor
+        net.finalize();
+    }
+};
+
+std::vector<TapEvent> run_detour(bool flat) {
+    DetourNet d(flat);
+    const GroupId group{1};
+    d.net.join(group, d.b_host);
+
+    std::vector<TapEvent> taps;
+    record_taps(d.net, taps);
+
+    auto send = [&](std::uint32_t seq) {
+        d.net.multicast(d.a_host,
+                        Packet{Header{group, d.a_host, d.a_host},
+                               DataBody{SeqNum{seq}, EpochId{0}, {9}}},
+                        McastScope::kGlobal);
+        d.net.unicast(d.b_host, d.a_host,
+                      Packet{Header{group, d.a_host, d.b_host}, PrimaryQueryBody{}});
+        d.sim.run_for(secs(1.0));
+    };
+    send(1);  // via the r1 corridor
+
+    d.net.set_node_down(d.a_r1, true);
+    d.net.finalize();  // reconverge: a_r1 no longer relays
+    send(2);  // must detour via r2
+
+    return taps;
+}
+
+TEST(RoutingAB, DownedRouterForcesIdenticalBackboneDetour) {
+    const auto hier = run_detour(/*flat=*/false);
+    const auto flat = run_detour(/*flat=*/true);
+    ASSERT_EQ(hier.size(), flat.size());
+    for (std::size_t i = 0; i < hier.size(); ++i)
+        ASSERT_TRUE(hier[i] == flat[i]) << "trace diverges at event " << i;
+}
+
+TEST(Routing, DownedRouterDetourUsesBackupCorridor) {
+    DetourNet d(/*flat=*/false);
+    const GroupId group{1};
+    d.net.join(group, d.b_host);
+    auto send = [&](std::uint32_t seq) {
+        d.net.multicast(d.a_host,
+                        Packet{Header{group, d.a_host, d.a_host},
+                               DataBody{SeqNum{seq}, EpochId{0}, {9}}},
+                        McastScope::kGlobal);
+        d.sim.run_for(secs(1.0));
+    };
+    send(1);
+    EXPECT_EQ(d.net.link(d.a_r1, d.b_r1)->stats().packets, 1u);  // fast corridor
+    EXPECT_EQ(d.net.link(d.a_r2, d.b_r2)->stats().packets, 0u);
+
+    d.net.set_node_down(d.a_r1, true);
+    d.net.finalize();
+    send(2);
+    EXPECT_EQ(d.net.link(d.a_r1, d.b_r1)->stats().packets, 1u);  // unchanged
+    EXPECT_EQ(d.net.link(d.a_r2, d.b_r2)->stats().packets, 1u);  // detour taken
+    EXPECT_EQ(d.net.link(d.b_r2, d.b_host)->stats().packets, 1u);
+
+    // Revive and reconverge: traffic returns to the fast corridor.
+    d.net.set_node_down(d.a_r1, false);
+    d.net.finalize();
+    send(3);
+    EXPECT_EQ(d.net.link(d.a_r1, d.b_r1)->stats().packets, 2u);
+    EXPECT_EQ(d.net.link(d.a_r2, d.b_r2)->stats().packets, 1u);
+}
+
+TEST(Routing, HierarchicalIsDefaultAndReportsTables) {
+    Simulator sim;
+    Network net{sim, 1};
+    DisTopologySpec spec;
+    spec.sites = 3;
+    spec.receivers_per_site = 2;
+    make_dis_topology(net, spec);
+    net.finalize();
+    EXPECT_FALSE(net.flat_routes());
+    EXPECT_GT(net.routing_table_bytes(), 0u);
+
+    SimConfig config;
+    config.flat_routes = true;
+    Network flat_net{sim, 1, config};
+    make_dis_topology(flat_net, spec);
+    flat_net.finalize();
+    EXPECT_TRUE(flat_net.flat_routes());
+}
+
+}  // namespace

@@ -473,6 +473,95 @@ TEST(NetworkTreeCache, ScopedTreesCacheIndependently) {
               1u);  // only the global send crossed the tail
 }
 
+// --- bounded tree cache (SimConfig::tree_cache_capacity) ---------------------
+
+TEST(NetworkTreeCache, BoundedCacheEvictsLruAndRebuildsOnMiss) {
+    Fixture f;
+    f.net.set_tree_cache_capacity(2);
+    // Three groups with the same members => three distinct cache keys.
+    const GroupId g2{2}, g3{3};
+    for (NodeId r : f.topo.all_receivers()) {
+        f.net.join(g2, r);
+        f.net.join(g3, r);
+    }
+    auto send_group = [&](GroupId g, std::uint32_t seq) {
+        f.net.multicast(f.topo.source,
+                        Packet{Header{g, f.topo.source, f.topo.source},
+                               DataBody{SeqNum{seq}, EpochId{0}, {1, 2}}},
+                        McastScope::kGlobal);
+        f.sim.run_for(secs(1.0));
+        EXPECT_LE(f.net.cached_tree_count(), 2u);  // never exceeds the bound
+    };
+    send_group(f.group, 1);
+    send_group(g2, 2);
+    EXPECT_EQ(f.net.cached_tree_count(), 2u);
+    const std::uint64_t builds_before = f.net.tree_builds();
+    send_group(g3, 3);  // evicts group 1's tree (LRU)
+    EXPECT_EQ(f.net.cached_tree_count(), 2u);
+    EXPECT_EQ(f.net.tree_builds(), builds_before + 1);
+    send_group(g2, 4);  // still cached: no rebuild
+    EXPECT_EQ(f.net.tree_builds(), builds_before + 1);
+    send_group(f.group, 5);  // evicted earlier: rebuilt on miss
+    EXPECT_EQ(f.net.tree_builds(), builds_before + 2);
+    // Every send delivered despite the churn (2 packets to groups 1 and 2's
+    // shared members... all groups share the same receiver set, so each
+    // receiver saw all 5 sends).
+    for (NodeId r : f.topo.all_receivers()) EXPECT_EQ(f.copies_to(r), 5u);
+}
+
+TEST(NetworkTreeCache, ShrinkingCapacityEvictsDownToBound) {
+    Fixture f;
+    const GroupId g2{2};
+    for (NodeId r : f.topo.all_receivers()) f.net.join(g2, r);
+    f.send(1);
+    f.net.multicast(f.topo.source,
+                    Packet{Header{g2, f.topo.source, f.topo.source},
+                           DataBody{SeqNum{2}, EpochId{0}, {1}}},
+                    McastScope::kGlobal);
+    f.sim.run_for(secs(1.0));
+    EXPECT_EQ(f.net.cached_tree_count(), 2u);
+    f.net.set_tree_cache_capacity(1);
+    EXPECT_EQ(f.net.cached_tree_count(), 1u);
+    f.net.set_tree_cache_capacity(0);  // back to unbounded: nothing dropped
+    EXPECT_EQ(f.net.cached_tree_count(), 1u);
+    f.send(3);  // group 1 was the LRU victim; rebuilt on miss and delivered
+    // 3 data sends total (group 1 twice, group 2 once), all to every receiver.
+    for (NodeId r : f.topo.all_receivers()) EXPECT_EQ(f.copies_to(r), 3u);
+}
+
+TEST(NetworkTreeCache, InvalidationStillClearsBoundedCache) {
+    Fixture f;
+    f.net.set_tree_cache_capacity(2);
+    f.send(1);
+    EXPECT_EQ(f.net.cached_tree_count(), 1u);
+    f.net.join(f.group, f.topo.sites[1].secondary);
+    EXPECT_EQ(f.net.cached_tree_count(), 0u);  // join invalidates as before
+    f.send(2);
+    f.net.set_node_down(f.topo.sites[0].receivers[0], true);
+    EXPECT_EQ(f.net.cached_tree_count(), 0u);  // node-down too
+}
+
+// --- mid-run topology mutation (regression: add_link must drop caches) -------
+
+TEST(NetworkTreeCache, AddLinkMidRunDropsTreesAndPathsBeforeRefinalize) {
+    Fixture f;
+    f.send(1);
+    EXPECT_GE(f.net.cached_tree_count(), 1u);
+    // Re-adding an EXISTING pair with a new spec must invalidate cached
+    // trees and cached paths immediately -- the regression was an add_link
+    // that only flipped finalized_, leaving stale trees serving the old
+    // edge until some unrelated invalidation.
+    f.net.add_link(f.topo.sites[0].router, f.topo.sites[0].receivers[0],
+                   LinkSpec{millis(5), 0.0, Duration::zero()});
+    EXPECT_EQ(f.net.cached_tree_count(), 0u);
+    EXPECT_EQ(f.net.path_cache_entries(), 0u);
+    f.net.finalize();
+    f.send(2);
+    for (NodeId r : f.topo.all_receivers()) EXPECT_EQ(f.copies_to(r), 2u);
+    // The respec'd LAN link now adds 5 ms: the slow receiver's copy arrives
+    // later than its site peers' but still arrives.
+}
+
 }  // namespace cache_test
 
 TEST(Network, DownNodeNeitherSendsNorReceives) {
