@@ -14,12 +14,17 @@ namespace lbrm {
 
 /// Simulator-substrate knobs consumed by sim::Network (see DESIGN.md
 /// "Hierarchical routing").  These tune memory/speed trade-offs of the
-/// simulated internetwork, not protocol behaviour: every setting produces
-/// identical packet timings, drop decisions and RNG draw order.
+/// simulated internetwork, not protocol behaviour.  The cache bounds are
+/// exact: occupancy never changes packet timings, drop decisions or RNG
+/// draw order (routes are a pure function of the last finalize()).
 struct SimConfig {
     /// Route with the flat O(n^2) next-hop matrices instead of the two-level
     /// site/backbone tables.  The LBRM_SIM_FLAT_ROUTES environment variable
-    /// forces this on at Network construction (A/B escape hatch).
+    /// forces this on at Network construction (A/B escape hatch).  The two
+    /// schemes are bit-identical on any topology whose shortest paths are
+    /// unique under the hop-penalised metric -- true of every shipped
+    /// scenario; with equal-cost multipaths they may tie-break differently
+    /// (DESIGN.md "Hierarchical routing", tie-breaking).
     bool flat_routes = false;
 
     /// Bound on the on-demand cache of cross-site node-to-node next hops

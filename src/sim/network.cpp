@@ -17,8 +17,10 @@ constexpr std::int64_t kInfDist = std::numeric_limits<std::int64_t>::max();
 
 /// Edge weight: propagation + 1 microsecond hop penalty (prefers fewer
 /// hops between equal-latency paths, keeping routes deterministic).  The
-/// flat and hierarchical schemes share this metric exactly, which is what
-/// makes their paths identical.
+/// flat and hierarchical schemes share this metric exactly, which makes
+/// their paths identical whenever shortest paths are unique under it;
+/// equal-cost multipaths may tie-break differently between the schemes
+/// (DESIGN.md "Hierarchical routing", tie-breaking).
 [[nodiscard]] std::int64_t edge_weight(const Link* l) {
     return l->spec().propagation.count() + 1000;
 }
@@ -106,10 +108,13 @@ void Network::set_loss(NodeId a, NodeId b, std::unique_ptr<LossModel> model) {
 void Network::set_node_down(NodeId node, bool down) {
     if (rec(node).down != down) invalidate_all_trees();
     rec(node).down = down;
-    // The path cache is untouched: routes are a pure function of the tables
-    // built at the last finalize(), which ignore later down transitions (a
-    // downed relay blackholes until re-finalize, like an unconverged
-    // routing protocol).  Trees must drop because membership pruning *does*
+    // The path cache is untouched: routes are a pure function of the
+    // tables built at the last finalize() -- the flat matrices bake
+    // liveness into the Dijkstra runs, and compose_hop consults the
+    // border_down_ snapshot taken by build_hierarchical_routes, never the
+    // live flags -- so a downed relay blackholes until re-finalize, like
+    // an unconverged routing protocol, and cache occupancy can never
+    // change outcomes.  Trees must drop because membership pruning *does*
     // consult liveness at build time.
 }
 
@@ -145,6 +150,7 @@ void Network::finalize() {
         std::vector<std::uint32_t>().swap(node_local_);
         std::vector<std::uint32_t>().swap(border_nodes_);
         std::vector<std::uint32_t>().swap(node_border_);
+        std::vector<std::uint8_t>().swap(border_down_);
         std::vector<std::int64_t>().swap(bb_dist_);
         std::vector<std::uint32_t>().swap(bb_next_node_);
         std::vector<Link*>().swap(bb_next_link_);
@@ -235,6 +241,12 @@ void Network::build_hierarchical_routes() {
             }
         }
     }
+    // Snapshot border liveness: compose_hop must see the state the tables
+    // were built under, not later set_node_down transitions (which only
+    // take routing effect at the next finalize, in both schemes).
+    border_down_.assign(border_nodes_.size(), 0);
+    for (std::size_t b = 0; b < border_nodes_.size(); ++b)
+        border_down_[b] = nodes_[border_nodes_[b]].down ? 1 : 0;
 
     // 3. Per-site all-pairs tables: Dijkstra from each site node over the
     //    site's own subgraph (same dead-relay rule as the flat scheme).
@@ -380,15 +392,18 @@ Network::Hop Network::compose_hop(std::uint32_t from, std::uint32_t to) const {
     }
 
     // Candidate 2: exit via border b1, cross the backbone, enter via b2.
-    // (For same-site pairs this also covers leave-and-return paths.)  Down
-    // borders never relay, but may still be the endpoint itself.
+    // (For same-site pairs this also covers leave-and-return paths.)
+    // Borders down *at the last finalize* never relay, but may still be
+    // the endpoint itself; liveness comes from the border_down_ snapshot,
+    // never the live flags, so a mid-run set_node_down leaves routing
+    // untouched until re-finalize (matching the flat matrices).
     for (const std::uint32_t b1 : stu.borders) {
-        if (nodes_[b1].down && b1 != from) continue;
+        if (border_down_[node_border_[b1]] && b1 != from) continue;
         const std::int64_t du = (b1 == from) ? 0 : stu.dist[lu * mu + node_local_[b1]];
         if (du == kInfDist || du >= best) continue;
         const std::size_t row = node_border_[b1] * nb;
         for (const std::uint32_t b2 : stv.borders) {
-            if (nodes_[b2].down && b2 != to) continue;
+            if (border_down_[node_border_[b2]] && b2 != to) continue;
             const std::int64_t bb = bb_dist_[row + node_border_[b2]];
             if (bb == kInfDist) continue;
             const std::int64_t dv =
@@ -580,12 +595,13 @@ void Network::drain_link(Link* l) {
 struct Network::UnicastDelivery final : DeliveryBase {
     UnicastDelivery(Network& n, const Packet& p, std::uint32_t to_index)
         : DeliveryBase(n), packet(p), bytes(encoded_size(p)), type(p.type()),
-          to(to_index) {}
+          to(to_index), hops_left(static_cast<std::uint32_t>(n.nodes_.size())) {}
 
     Packet packet;
     std::size_t bytes;
     PacketType type;
-    std::uint32_t to;  ///< destination node index
+    std::uint32_t to;         ///< destination node index
+    std::uint32_t hops_left;  ///< loop guard (see forward_unicast)
 };
 
 void Network::unicast(NodeId from, NodeId to, const Packet& packet) {
@@ -603,6 +619,15 @@ void Network::unicast(NodeId from, NodeId to, const Packet& packet) {
 }
 
 void Network::forward_unicast(UnicastDelivery* d, std::uint32_t at) {
+    // Loop guard: any consistent table walk reaches its destination within
+    // n-1 hops, but a mid-flight re-finalize can mix hops from the old and
+    // new tables into a cycle, so the budget caps the walk (build_tree has
+    // the same guard on its path collection).
+    if (d->hops_left == 0) {
+        destroy(d);
+        return;
+    }
+    --d->hops_left;
     const Hop h = hop_toward(at, d->to);
     if (h.link == nullptr) {  // unreachable
         destroy(d);
@@ -840,7 +865,8 @@ std::size_t Network::routing_table_bytes() const {
     total += node_site_.capacity() * sizeof(std::uint32_t) +
              node_local_.capacity() * sizeof(std::uint32_t) +
              border_nodes_.capacity() * sizeof(std::uint32_t) +
-             node_border_.capacity() * sizeof(std::uint32_t);
+             node_border_.capacity() * sizeof(std::uint32_t) +
+             border_down_.capacity() * sizeof(std::uint8_t);
     total += bb_dist_.capacity() * sizeof(std::int64_t) +
              bb_next_node_.capacity() * sizeof(std::uint32_t) +
              bb_next_link_.capacity() * sizeof(Link*);

@@ -15,7 +15,11 @@
 // memory instead of the flat O(n^2) matrices.  Cross-site next hops are
 // resolved on demand through an LRU-bounded path cache.  The flat matrices
 // remain available behind SimConfig::flat_routes / LBRM_SIM_FLAT_ROUTES and
-// produce identical paths, delivery times and RNG draw order.
+// produce identical paths, delivery times and RNG draw order on any
+// topology whose shortest paths are unique under the hop-penalised metric
+// (true of every shipped scenario; with equal-cost multipaths the two
+// schemes may tie-break differently -- see DESIGN.md "Hierarchical
+// routing", tie-breaking).
 //
 // Delivery trees are cached per (group, sender, scope) behind an optional
 // LRU bound (SimConfig::tree_cache_capacity) and invalidated on membership
@@ -83,9 +87,13 @@ public:
     /// Mark a node dead/alive.  A dead node neither sends nor receives --
     /// models logger crashes for the Section 2.2.3 failover experiments --
     /// and, from the next finalize() on, no longer relays transit traffic
-    /// (so re-finalizing after downing a router routes around it).  Routes
-    /// computed while it was up keep forwarding into it until then, exactly
-    /// as a real network blackholes until the routing protocol reconverges.
+    /// (so re-finalizing after downing a router routes around it).  Until
+    /// then routes keep forwarding into it and packets die there, exactly
+    /// as a real network blackholes until the routing protocol reconverges:
+    /// both schemes route purely from finalize-time state (the flat
+    /// matrices bake liveness in; the hierarchical tables snapshot border
+    /// liveness into border_down_), so a down transition never changes
+    /// routing until the next finalize().
     void set_node_down(NodeId node, bool down);
 
     /// Compute routing tables.  Must be called after the last add_link and
@@ -297,6 +305,12 @@ private:
     std::vector<std::uint32_t> node_local_;  ///< index within the site
     std::vector<std::uint32_t> border_nodes_;  ///< global node index per border
     std::vector<std::uint32_t> node_border_;   ///< border index; kNoIndex = interior
+    /// Border liveness snapshot taken at finalize().  compose_hop consults
+    /// this -- never the live NodeRec::down flags -- so routes stay a pure
+    /// function of the last finalize(), independent of path-cache occupancy
+    /// and identical to the flat matrices' blackhole-until-reconverge
+    /// behaviour.  Live liveness is applied at delivery time instead.
+    std::vector<std::uint8_t> border_down_;
     /// Backbone all-pairs tables over the border nodes (B x B): distance,
     /// plus the first *physical* hop (node + link) toward each border --
     /// virtual intra-site backbone edges are pre-descended at build time.

@@ -1,7 +1,9 @@
 // A/B identity tests for the two routing schemes (DESIGN.md "Hierarchical
 // routing"): the hierarchical site/backbone tables must produce exactly the
 // paths, delivery times, drop decisions and RNG draw order of the flat
-// O(n^2) matrices on every workload.  Each test runs the identical scenario
+// O(n^2) matrices on every workload here -- all on topologies with unique
+// shortest paths, the scope of the identity guarantee (see DESIGN.md,
+// tie-breaking).  Each test runs the identical scenario
 // under both schemes (SimConfig::flat_routes, the LBRM_SIM_FLAT_ROUTES
 // escape hatch's programmatic form) and compares full fingerprints --
 // per-packet tap traces or end-to-end protocol records -- for equality.
@@ -184,10 +186,11 @@ struct DetourNet {
     Network net;
     NodeId a_host, a_r1, a_r2, b_host, b_r1, b_r2;
 
-    explicit DetourNet(bool flat)
+    explicit DetourNet(bool flat, std::size_t path_cache_capacity = 65536)
         : net(sim, 7, [&] {
               SimConfig c;
               c.flat_routes = flat;
+              c.path_cache_capacity = path_cache_capacity;
               return c;
           }()) {
         a_host = net.add_node(SiteId{1});
@@ -270,6 +273,86 @@ TEST(Routing, DownedRouterDetourUsesBackupCorridor) {
     send(3);
     EXPECT_EQ(d.net.link(d.a_r1, d.b_r1)->stats().packets, 2u);
     EXPECT_EQ(d.net.link(d.a_r2, d.b_r2)->stats().packets, 1u);
+}
+
+// --- set_node_down without re-finalize: blackhole semantics ------------------
+
+/// Routes must be a pure function of the last finalize() in both schemes:
+/// a mid-run set_node_down changes nothing (packets blackhole into the
+/// downed border) until finalize() reconverges.  Regression for a bug
+/// where compose_hop read live down flags, so hierarchical routes shifted
+/// immediately -- and differently for cached vs freshly-composed hops.
+std::vector<TapEvent> run_down_no_refinalize(bool flat, std::size_t path_cache_cap) {
+    DetourNet d(flat, path_cache_cap);
+    const GroupId group{1};
+    d.net.join(group, d.b_host);
+
+    std::vector<TapEvent> taps;
+    record_taps(d.net, taps);
+
+    auto send = [&](std::uint32_t seq) {
+        d.net.multicast(d.a_host,
+                        Packet{Header{group, d.a_host, d.a_host},
+                               DataBody{SeqNum{seq}, EpochId{0}, {9}}},
+                        McastScope::kGlobal);
+        d.net.unicast(d.b_host, d.a_host,
+                      Packet{Header{group, d.a_host, d.b_host}, PrimaryQueryBody{}});
+        d.sim.run_for(secs(1.0));
+    };
+    send(1);  // primes the path cache with routes through the r1 corridor
+
+    d.net.set_node_down(d.a_r1, true);
+    send(2);  // no re-finalize: still routed into a_r1, dying on arrival
+
+    d.net.finalize();
+    send(3);  // reconverged: detour via r2
+
+    return taps;
+}
+
+TEST(RoutingAB, DownWithoutRefinalizeTraceIdentical) {
+    const auto hier = run_down_no_refinalize(/*flat=*/false, 65536);
+    const auto flat = run_down_no_refinalize(/*flat=*/true, 65536);
+    ASSERT_EQ(hier.size(), flat.size());
+    for (std::size_t i = 0; i < hier.size(); ++i)
+        ASSERT_TRUE(hier[i] == flat[i]) << "trace diverges at event " << i;
+}
+
+TEST(Routing, PathCacheCapacityNeverChangesOutcomes) {
+    // Unbounded, single-entry (every lookup evicts) and default-sized
+    // caches must produce the same trace, even across a down transition
+    // that is not yet finalized -- cached and freshly-composed hops agree.
+    const auto unbounded = run_down_no_refinalize(/*flat=*/false, 0);
+    const auto tiny = run_down_no_refinalize(/*flat=*/false, 1);
+    const auto roomy = run_down_no_refinalize(/*flat=*/false, 65536);
+    EXPECT_EQ(unbounded, tiny);
+    EXPECT_EQ(unbounded, roomy);
+}
+
+TEST(Routing, DownedRouterBlackholesUntilRefinalize) {
+    DetourNet d(/*flat=*/false);
+    const GroupId group{1};
+    d.net.join(group, d.b_host);
+    auto send = [&](std::uint32_t seq) {
+        d.net.multicast(d.a_host,
+                        Packet{Header{group, d.a_host, d.a_host},
+                               DataBody{SeqNum{seq}, EpochId{0}, {9}}},
+                        McastScope::kGlobal);
+        d.sim.run_for(secs(1.0));
+    };
+    send(1);
+    EXPECT_EQ(d.net.link(d.a_host, d.a_r1)->stats().packets, 1u);
+
+    d.net.set_node_down(d.a_r1, true);
+    send(2);  // tree rebuilt (down drops caches) but on the *old* tables
+    EXPECT_EQ(d.net.link(d.a_host, d.a_r1)->stats().packets, 2u);  // into the hole
+    EXPECT_EQ(d.net.link(d.a_r1, d.b_r1)->stats().packets, 1u);  // died at a_r1
+    EXPECT_EQ(d.net.link(d.a_r2, d.b_r2)->stats().packets, 0u);  // no early detour
+
+    d.net.finalize();
+    send(3);
+    EXPECT_EQ(d.net.link(d.a_host, d.a_r1)->stats().packets, 2u);  // unchanged
+    EXPECT_EQ(d.net.link(d.a_r2, d.b_r2)->stats().packets, 1u);  // detour taken
 }
 
 TEST(Routing, HierarchicalIsDefaultAndReportsTables) {
