@@ -1,35 +1,50 @@
 // Routing-scale bench (perf trajectory, not a paper artifact).
 //
-// Measures the tentpole of this PR: hierarchical site/backbone routing
-// tables (DESIGN.md "Hierarchical routing") versus the flat O(n^2)
-// next-hop matrices, on DIS topologies the size the paper argues for --
-// thousands of sites behind tail circuits.
+// Measures the million-node scenario engine (DESIGN.md "Scale
+// engineering"): hierarchical site/backbone routing tables versus the flat
+// O(n^2) next-hop matrices, the serial/parallel/lazy finalize modes, and a
+// full protocol run -- sender, loggers, a receiver core per host, real
+// multicast traffic -- at a million nodes under the constant-memory
+// CountingObserver.
 //
-// Two scenarios:
+// Scenarios:
 //
-//   routing_100k  -- 1,000 sites x 97 receivers (~100k nodes).  Builds the
-//                    hierarchical tables and reports finalize() wall time,
-//                    routing-table bytes, bytes per node and peak RSS.  The
-//                    flat matrices at this size would need n^2 x 12 bytes
-//                    (~120 GB), so their footprint is computed analytically
-//                    and reported as the ratio -- the acceptance criterion
-//                    is >= 10x; the real number is ~500x.
-//   routing_ab    -- a size both schemes can actually run (~10k nodes):
-//                    finalize() wall time and table bytes for each, plus a
-//                    multicast sanity check that both deliver the same
-//                    packet count.
+//   routing_100k   -- 1,000 sites x 97 receivers (~100k nodes).  Builds the
+//                     hierarchical tables and reports finalize() wall time,
+//                     routing-table bytes, bytes per node and peak RSS.  The
+//                     flat matrices at this size would need n^2 x 12 bytes
+//                     (~120 GB), so their footprint is computed analytically
+//                     and reported as the ratio -- the acceptance criterion
+//                     is >= 10x; the real number is ~500x.
+//   finalize_modes -- the same topology finalized serially, in parallel and
+//                     lazily; wall seconds, rows materialised and table
+//                     bytes per mode, plus the best-mode speedup.
+//   modes_hash_ab  -- at the A/B size, all three modes must produce the
+//                     same routing_table_hash() (bit-identical tables).
+//   routing_ab     -- a size both schemes can actually run (~10k nodes):
+//                     finalize() wall time and table bytes for each, plus a
+//                     multicast sanity check that both deliver the same
+//                     packet count.
+//   full_protocol  -- 2,000 sites x 499 receivers (>= 1M nodes) wired as a
+//                     complete DisScenario (lazy finalize, CountingObserver),
+//                     driven with real sends + protocol timers; reports
+//                     build/traffic seconds, deliveries, peak RSS and
+//                     RSS bytes per node.
 //
 // Usage:
 //   bench_routing_scale [--json PATH] [--timestamp ISO8601]
 //                       [--sites N] [--receivers N]
 //                       [--ab-sites N] [--ab-receivers N]
+//                       [--full-sites N] [--full-receivers N] [--skip-full]
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "bench/bench_util.hpp"
 #include "sim/network.hpp"
+#include "sim/scenario.hpp"
 #include "sim/topology.hpp"
 
 namespace {
@@ -43,6 +58,10 @@ DisTopologySpec scale_spec(std::uint32_t sites, std::uint32_t receivers_per_site
     spec.sites = sites;
     spec.receivers_per_site = receivers_per_site;
     return spec;
+}
+
+double now_seconds_since(const std::chrono::steady_clock::time_point& t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
 struct BuildStats {
@@ -64,10 +83,9 @@ BuildStats run_build(bool flat, std::uint32_t sites, std::uint32_t receivers,
 
     const auto start = std::chrono::steady_clock::now();
     net.finalize();
-    const auto stop = std::chrono::steady_clock::now();
 
     BuildStats out;
-    out.finalize_seconds = std::chrono::duration<double>(stop - start).count();
+    out.finalize_seconds = now_seconds_since(start);
     out.nodes = net.node_count();
     out.table_bytes = net.routing_table_bytes();
 
@@ -90,6 +108,48 @@ BuildStats run_build(bool flat, std::uint32_t sites, std::uint32_t receivers,
     return out;
 }
 
+struct ModeStats {
+    double finalize_seconds = 0.0;
+    std::size_t nodes = 0;
+    std::size_t rows_built = 0;
+    std::size_t table_bytes = 0;
+};
+
+/// Finalize the topology under one build mode; no traffic, so lazy pays
+/// only for border rows + backbone (its actual finalize cost).
+ModeStats run_mode(SimFinalizeMode mode, unsigned threads, std::uint32_t sites,
+                   std::uint32_t receivers) {
+    Simulator simulator;
+    SimConfig config;
+    config.finalize_mode = mode;
+    config.finalize_threads = threads;
+    Network net{simulator, 42, config};
+    make_dis_topology(net, scale_spec(sites, receivers));
+
+    const auto start = std::chrono::steady_clock::now();
+    net.finalize();
+
+    ModeStats out;
+    out.finalize_seconds = now_seconds_since(start);
+    out.nodes = net.node_count();
+    out.rows_built = net.site_rows_built();
+    out.table_bytes = net.routing_table_bytes();
+    return out;
+}
+
+/// routing_table_hash() under one build mode (forces every lazy row).
+std::uint64_t mode_hash(SimFinalizeMode mode, unsigned threads, std::uint32_t sites,
+                        std::uint32_t receivers) {
+    Simulator simulator;
+    SimConfig config;
+    config.finalize_mode = mode;
+    config.finalize_threads = threads;
+    Network net{simulator, 42, config};
+    make_dis_topology(net, scale_spec(sites, receivers));
+    net.finalize();
+    return net.routing_table_hash();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,6 +159,15 @@ int main(int argc, char** argv) {
     std::uint32_t receivers = 97;  // 1000 x (router + secondary + 97) + 5 = ~99k
     std::uint32_t ab_sites = 100;
     std::uint32_t ab_receivers = 97;
+    std::uint32_t full_sites = 2000;
+    std::uint32_t full_receivers = 499;  // 2000 x (router + secondary + 499) + 5 > 1M
+    // Mode comparison runs at fewer, larger sites: per-site all-pairs cost
+    // scales with site size squared while the shared backbone build scales
+    // with site count squared, so this is the regime where skipping interior
+    // rows (lazy) or building them concurrently (parallel) actually shows.
+    std::uint32_t mode_sites = 300;
+    std::uint32_t mode_receivers = 346;  // 300 x (router + secondary + 346) + 5 = ~104k
+    bool skip_full = false;
     for (int i = 1; i < argc; ++i) {
         auto next = [&](const char* flag) -> const char* {
             if (i + 1 >= argc) {
@@ -117,6 +186,18 @@ int main(int argc, char** argv) {
             ab_sites = static_cast<std::uint32_t>(std::atoi(next("--ab-sites")));
         else if (std::strcmp(argv[i], "--ab-receivers") == 0)
             ab_receivers = static_cast<std::uint32_t>(std::atoi(next("--ab-receivers")));
+        else if (std::strcmp(argv[i], "--full-sites") == 0)
+            full_sites = static_cast<std::uint32_t>(std::atoi(next("--full-sites")));
+        else if (std::strcmp(argv[i], "--full-receivers") == 0)
+            full_receivers =
+                static_cast<std::uint32_t>(std::atoi(next("--full-receivers")));
+        else if (std::strcmp(argv[i], "--mode-sites") == 0)
+            mode_sites = static_cast<std::uint32_t>(std::atoi(next("--mode-sites")));
+        else if (std::strcmp(argv[i], "--mode-receivers") == 0)
+            mode_receivers =
+                static_cast<std::uint32_t>(std::atoi(next("--mode-receivers")));
+        else if (std::strcmp(argv[i], "--skip-full") == 0)
+            skip_full = true;
     }
 
     std::vector<JsonMetric> metrics;
@@ -158,6 +239,57 @@ int main(int argc, char** argv) {
     metrics.push_back({"routing_scale", "peak_rss_bytes",
                        static_cast<double>(peak_rss_bytes()), timestamp});
 
+    title("Finalize modes: serial vs parallel vs lazy at " + fmt_int(mode_sites) +
+          " sites x " + fmt_int(mode_receivers) + " receivers");
+    const ModeStats serial =
+        run_mode(SimFinalizeMode::kSerial, 0, mode_sites, mode_receivers);
+    const ModeStats parallel =
+        run_mode(SimFinalizeMode::kParallel, 0, mode_sites, mode_receivers);
+    const ModeStats lazy = run_mode(SimFinalizeMode::kLazy, 0, mode_sites, mode_receivers);
+    Table modes({"mode", "finalize s", "rows built", "table MiB"});
+    auto mode_row = [&](const char* name, const ModeStats& m) {
+        modes.row({name, fmt(m.finalize_seconds, 3), fmt_int(m.rows_built),
+                   fmt(static_cast<double>(m.table_bytes) / (1024.0 * 1024.0), 1)});
+    };
+    mode_row("serial", serial);
+    mode_row("parallel", parallel);
+    mode_row("lazy", lazy);
+    const double best =
+        parallel.finalize_seconds < lazy.finalize_seconds ? parallel.finalize_seconds
+                                                          : lazy.finalize_seconds;
+    const double speedup = serial.finalize_seconds / best;
+    note("");
+    note("best non-serial mode is " + fmt(speedup, 1) + "x faster than serial");
+
+    metrics.push_back({"finalize_modes", "nodes",
+                       static_cast<double>(serial.nodes), timestamp});
+    metrics.push_back({"finalize_modes", "finalize_seconds_serial",
+                       serial.finalize_seconds, timestamp});
+    metrics.push_back({"finalize_modes", "finalize_seconds_parallel",
+                       parallel.finalize_seconds, timestamp});
+    metrics.push_back(
+        {"finalize_modes", "finalize_seconds_lazy", lazy.finalize_seconds, timestamp});
+    metrics.push_back({"finalize_modes", "rows_built_serial",
+                       static_cast<double>(serial.rows_built), timestamp});
+    metrics.push_back({"finalize_modes", "rows_built_lazy",
+                       static_cast<double>(lazy.rows_built), timestamp});
+    metrics.push_back({"finalize_modes", "best_mode_speedup", speedup, timestamp});
+
+    title("Build-mode hash A/B: " + fmt_int(ab_sites) + " sites x " +
+          fmt_int(ab_receivers) + " receivers");
+    const std::uint64_t h_serial =
+        mode_hash(SimFinalizeMode::kSerial, 0, ab_sites, ab_receivers);
+    const std::uint64_t h_parallel =
+        mode_hash(SimFinalizeMode::kParallel, 2, ab_sites, ab_receivers);
+    const std::uint64_t h_lazy =
+        mode_hash(SimFinalizeMode::kLazy, 0, ab_sites, ab_receivers);
+    const bool hashes_equal = h_serial == h_parallel && h_serial == h_lazy;
+    note(std::string("table hashes ") + (hashes_equal ? "match" : "DIFFER") +
+         " across serial/parallel/lazy");
+    if (!hashes_equal) return 1;
+    metrics.push_back(
+        {"finalize_modes", "mode_hashes_equal", hashes_equal ? 1.0 : 0.0, timestamp});
+
     title("Flat vs hierarchical A/B: " + fmt_int(ab_sites) + " sites x " +
           fmt_int(ab_receivers) + " receivers");
     const BuildStats hier = run_build(/*flat=*/false, ab_sites, ab_receivers,
@@ -184,6 +316,63 @@ int main(int argc, char** argv) {
                        static_cast<double>(hier.table_bytes), timestamp});
     metrics.push_back({"routing_ab", "routing_table_bytes_flat",
                        static_cast<double>(flat.table_bytes), timestamp});
+
+    if (!skip_full) {
+        title("Full protocol at scale: " + fmt_int(full_sites) + " sites x " +
+              fmt_int(full_receivers) + " receivers (lazy finalize, counting observer)");
+        ScenarioConfig cfg;
+        cfg.topology = scale_spec(full_sites, full_receivers);
+        cfg.sim.finalize_mode = SimFinalizeMode::kLazy;
+        cfg.sim.path_cache_capacity = 1u << 16;
+        auto counter = std::make_shared<CountingObserver>();
+        cfg.observer = counter;
+
+        const auto t_build = std::chrono::steady_clock::now();
+        DisScenario scenario{std::move(cfg)};
+        const double build_seconds = now_seconds_since(t_build);
+
+        const auto t_traffic = std::chrono::steady_clock::now();
+        scenario.start();
+        // 400 ms between updates lets each T1 tail drain its ~260 ms wave
+        // (499 x 200 B at 1.544 Mb/s) before the next one: peak memory then
+        // reflects one in-flight wave, not three stacked ones.
+        for (int i = 0; i < 3; ++i) {
+            scenario.send_update(200);
+            scenario.run_for(millis(400));
+        }
+        scenario.run_for(secs(0.5));  // heartbeats, stat-acks, idle checks
+        const double traffic_seconds = now_seconds_since(t_traffic);
+
+        const std::size_t nodes = scenario.network().node_count();
+        const double rss = static_cast<double>(peak_rss_bytes());
+        Table full({"nodes", "build s", "traffic s", "deliveries", "rows built",
+                    "RSS MiB", "RSS B/node"});
+        full.row({fmt_int(nodes), fmt(build_seconds, 1), fmt(traffic_seconds, 1),
+                  fmt_int(counter->deliveries()),
+                  fmt_int(scenario.network().site_rows_built()),
+                  fmt(rss / (1024.0 * 1024.0), 0),
+                  fmt(rss / static_cast<double>(nodes), 0)});
+        note("");
+        note("receivers with all 3 updates: " +
+             fmt_int(counter->nodes_with_at_least(3)) + " of " +
+             fmt_int(static_cast<std::size_t>(full_sites) * full_receivers));
+        if (counter->deliveries() == 0) {
+            note("ERROR: full-protocol run delivered nothing");
+            return 1;
+        }
+
+        metrics.push_back(
+            {"full_protocol", "nodes", static_cast<double>(nodes), timestamp});
+        metrics.push_back(
+            {"full_protocol", "build_seconds", build_seconds, timestamp});
+        metrics.push_back(
+            {"full_protocol", "traffic_seconds", traffic_seconds, timestamp});
+        metrics.push_back({"full_protocol", "deliveries",
+                           static_cast<double>(counter->deliveries()), timestamp});
+        metrics.push_back({"full_protocol", "peak_rss_bytes", rss, timestamp});
+        metrics.push_back({"full_protocol", "rss_bytes_per_node",
+                           rss / static_cast<double>(nodes), timestamp});
+    }
 
     write_bench_json(json_path, metrics);
     note("");

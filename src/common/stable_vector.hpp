@@ -1,0 +1,104 @@
+// StableVector: a chunked, append-only sequence with stable element
+// addresses -- push never moves existing elements, so references handed out
+// by emplace_back remain valid for the container's lifetime (the guarantee
+// ProtocolHost documents for its core slots, and Network for its hosts).
+//
+// Chunks double in size (1, 2, 4, 8, ...), so a container holding a single
+// element costs one exact-size allocation -- unlike std::deque, whose empty
+// footprint is a block map plus a full fixed-size block -- while a million
+// elements cost only ~20 allocations.  Elements need not be movable or
+// copyable.  Index math: chunk c covers indices [2^c - 1, 2^(c+1) - 1).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace lbrm {
+
+template <typename T>
+class StableVector {
+public:
+    StableVector() = default;
+    StableVector(const StableVector&) = delete;
+    StableVector& operator=(const StableVector&) = delete;
+    ~StableVector() { clear(); }
+
+    template <typename... Args>
+    T& emplace_back(Args&&... args) {
+        static_assert(alignof(T) <= alignof(std::max_align_t),
+                      "chunk storage is max_align_t-aligned");
+        const std::size_t chunk = chunk_of(size_);
+        if (chunk == chunks_.size())
+            chunks_.push_back(std::make_unique<std::byte[]>(
+                sizeof(T) * (std::size_t{1} << chunk)));
+        T* obj = new (slot(size_)) T(std::forward<Args>(args)...);
+        ++size_;
+        return *obj;
+    }
+
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+
+    [[nodiscard]] T& operator[](std::size_t i) {
+        return *std::launder(reinterpret_cast<T*>(slot(i)));
+    }
+    [[nodiscard]] const T& operator[](std::size_t i) const {
+        return *std::launder(reinterpret_cast<const T*>(
+            const_cast<StableVector*>(this)->slot(i)));
+    }
+
+    [[nodiscard]] T& back() { return (*this)[size_ - 1]; }
+
+    /// Destroy every element and release all chunks.
+    void clear() {
+        for (std::size_t i = size_; i > 0; --i) (*this)[i - 1].~T();
+        size_ = 0;
+        chunks_.clear();
+    }
+
+    // Minimal forward iteration (enough for range-for).
+    template <bool Const>
+    class Iter {
+    public:
+        using Parent = std::conditional_t<Const, const StableVector, StableVector>;
+        Iter(Parent* p, std::size_t i) : parent_(p), index_(i) {}
+        auto& operator*() const { return (*parent_)[index_]; }
+        auto* operator->() const { return &(*parent_)[index_]; }
+        Iter& operator++() {
+            ++index_;
+            return *this;
+        }
+        friend bool operator==(const Iter& a, const Iter& b) {
+            return a.index_ == b.index_;
+        }
+
+    private:
+        Parent* parent_;
+        std::size_t index_;
+    };
+    [[nodiscard]] auto begin() { return Iter<false>{this, 0}; }
+    [[nodiscard]] auto end() { return Iter<false>{this, size_}; }
+    [[nodiscard]] auto begin() const { return Iter<true>{this, 0}; }
+    [[nodiscard]] auto end() const { return Iter<true>{this, size_}; }
+
+private:
+    [[nodiscard]] static std::size_t chunk_of(std::size_t i) {
+        return static_cast<std::size_t>(std::bit_width(i + 1)) - 1;
+    }
+
+    [[nodiscard]] std::byte* slot(std::size_t i) {
+        const std::size_t chunk = chunk_of(i);
+        const std::size_t offset = i + 1 - (std::size_t{1} << chunk);
+        return chunks_[chunk].get() + offset * sizeof(T);
+    }
+
+    std::vector<std::unique_ptr<std::byte[]>> chunks_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace lbrm

@@ -12,6 +12,16 @@
 
 namespace lbrm {
 
+/// How finalize() builds the per-site all-pairs routing tables (see
+/// DESIGN.md "Scale engineering").  All three modes produce bit-identical
+/// tables and traffic: rows are a pure function of the finalize-time
+/// adjacency and liveness snapshots, independent of build order or time.
+enum class SimFinalizeMode : std::uint8_t {
+    kSerial = 0,    ///< build every row inline (the baseline)
+    kParallel = 1,  ///< worker pool over sites, pre-sized disjoint row slots
+    kLazy = 2,      ///< border rows + backbone at finalize; rows on first use
+};
+
 /// Simulator-substrate knobs consumed by sim::Network (see DESIGN.md
 /// "Hierarchical routing").  These tune memory/speed trade-offs of the
 /// simulated internetwork, not protocol behaviour.  The cache bounds are
@@ -35,6 +45,14 @@ struct SimConfig {
     /// (group, sender, scope) keys (LRU eviction; invalidation on
     /// join/leave/node-down/finalize is unaffected).  0 = unbounded.
     std::size_t tree_cache_capacity = 0;
+
+    /// Site-table build strategy (ignored under flat_routes).  The
+    /// LBRM_SIM_FINALIZE environment variable (serial|parallel|lazy)
+    /// overrides this at Network construction (A/B escape hatch).
+    SimFinalizeMode finalize_mode = SimFinalizeMode::kSerial;
+
+    /// Worker-pool width for kParallel; 0 = std::thread::hardware_concurrency.
+    unsigned finalize_threads = 0;
 };
 
 /// Variable-heartbeat parameters (Section 2.1).  The defaults are the

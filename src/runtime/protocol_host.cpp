@@ -8,21 +8,21 @@ SenderCore& ProtocolHost::add_sender(SenderConfig config, AppHandlers handlers) 
 }
 
 ReceiverCore& ProtocolHost::add_receiver(ReceiverConfig config, AppHandlers handlers) {
-    receivers_.push_back(
-        std::make_unique<ReceiverSlot>(next_tag_++, std::move(config), std::move(handlers)));
-    return receivers_.back()->core;
+    return receivers_
+        .emplace_back(next_tag_++, std::move(config), std::move(handlers))
+        .core;
 }
 
 LoggerCore& ProtocolHost::add_logger(LoggerConfig config, std::uint64_t rng_seed,
                                      AppHandlers handlers) {
-    loggers_.push_back(std::make_unique<LoggerSlot>(next_tag_++, std::move(config), rng_seed,
-                                                    std::move(handlers)));
-    return loggers_.back()->core;
+    return loggers_
+        .emplace_back(next_tag_++, std::move(config), rng_seed, std::move(handlers))
+        .core;
 }
 
 CoreBase& ProtocolHost::add_core(std::unique_ptr<CoreBase> core, AppHandlers handlers) {
-    generics_.push_back(GenericSlot{next_tag_++, std::move(core), std::move(handlers)});
-    return *generics_.back().core;
+    return *generics_.emplace_back(next_tag_++, std::move(core), std::move(handlers))
+                .core;
 }
 
 std::size_t ProtocolHost::core_count() const {
@@ -32,9 +32,9 @@ std::size_t ProtocolHost::core_count() const {
 void ProtocolHost::start(TimePoint now) {
     if (sender_) execute(now, 0, sender_->handlers, sender_->core.start(now));
     for (auto& slot : receivers_)
-        execute(now, slot->tag, slot->handlers, slot->core.start(now));
+        execute(now, slot.tag, slot.handlers, slot.core.start(now));
     for (auto& slot : loggers_)
-        execute(now, slot->tag, slot->handlers, slot->core.start(now));
+        execute(now, slot.tag, slot.handlers, slot.core.start(now));
     for (auto& slot : generics_)
         execute(now, slot.tag, slot.handlers, slot.core->start(now));
 }
@@ -45,9 +45,9 @@ void ProtocolHost::on_packet(TimePoint now, const Packet& packet) {
     // entities.
     if (sender_) execute(now, 0, sender_->handlers, sender_->core.on_packet(now, packet));
     for (auto& slot : receivers_)
-        execute(now, slot->tag, slot->handlers, slot->core.on_packet(now, packet));
+        execute(now, slot.tag, slot.handlers, slot.core.on_packet(now, packet));
     for (auto& slot : loggers_)
-        execute(now, slot->tag, slot->handlers, slot->core.on_packet(now, packet));
+        execute(now, slot.tag, slot.handlers, slot.core.on_packet(now, packet));
     for (auto& slot : generics_)
         execute(now, slot.tag, slot.handlers, slot.core->on_packet(now, packet));
 }
@@ -62,14 +62,14 @@ void ProtocolHost::on_timer(TimePoint now, std::uint32_t core_tag, TimerId id) {
         return;
     }
     for (auto& slot : receivers_) {
-        if (slot->tag == core_tag) {
-            execute(now, slot->tag, slot->handlers, slot->core.on_timer(now, id));
+        if (slot.tag == core_tag) {
+            execute(now, slot.tag, slot.handlers, slot.core.on_timer(now, id));
             return;
         }
     }
     for (auto& slot : loggers_) {
-        if (slot->tag == core_tag) {
-            execute(now, slot->tag, slot->handlers, slot->core.on_timer(now, id));
+        if (slot.tag == core_tag) {
+            execute(now, slot.tag, slot.handlers, slot.core.on_timer(now, id));
             return;
         }
     }

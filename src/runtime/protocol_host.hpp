@@ -7,12 +7,19 @@
 // routes incoming packets to all of them, executes the Actions they return
 // through the driver's NetworkService/TimerService, and forwards
 // DeliverData/Notice actions to application handlers.
+//
+// Core slots live by value in chunked stable arenas (see
+// common/stable_vector.hpp): attaching a receiver costs amortised-zero
+// allocations instead of one heap node per core, which matters when a
+// million-node scenario attaches a million receiver slots (DESIGN.md
+// "Scale engineering").  The attach methods still hand out references that
+// stay valid for the host's lifetime.
 #pragma once
 
 #include <memory>
 #include <span>
-#include <vector>
 
+#include "common/stable_vector.hpp"
 #include "core/logger.hpp"
 #include "core/receiver.hpp"
 #include "core/sender.hpp"
@@ -87,6 +94,8 @@ private:
         std::uint32_t tag;
         std::unique_ptr<CoreBase> core;
         AppHandlers handlers;
+        GenericSlot(std::uint32_t t, std::unique_ptr<CoreBase> c, AppHandlers h)
+            : tag(t), core(std::move(c)), handlers(std::move(h)) {}
     };
 
     void execute(TimePoint now, std::uint32_t tag, const AppHandlers& handlers,
@@ -95,10 +104,13 @@ private:
     NetworkService& network_;
     TimerService& timers_;
 
+    /// Behind a pointer on purpose: at most one host in a whole scenario
+    /// carries a sender, so inlining the slot would cost sizeof(SenderCore)
+    /// in every one of a million senderless hosts.
     std::unique_ptr<SenderSlot> sender_;
-    std::vector<std::unique_ptr<ReceiverSlot>> receivers_;
-    std::vector<std::unique_ptr<LoggerSlot>> loggers_;
-    std::vector<GenericSlot> generics_;
+    StableVector<ReceiverSlot> receivers_;
+    StableVector<LoggerSlot> loggers_;
+    StableVector<GenericSlot> generics_;
     std::uint32_t next_tag_ = 1;
 };
 

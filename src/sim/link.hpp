@@ -50,22 +50,66 @@ struct LinkStats {
     std::uint64_t bytes = 0;
     std::uint64_t drops_loss = 0;
     std::uint64_t drops_queue = 0;
-    /// Packets per PacketType (index = numeric type value).
-    std::array<std::uint64_t, 32> by_type{};
+
+    /// Per-type tallies.  A link sees a handful of distinct packet types
+    /// (data + heartbeats down the tree; NACK/ACK traffic up), so the
+    /// common case lives in four inline (tag, count) slots -- a full
+    /// per-type array costs ~256 MB across two million directed links.  A
+    /// link that sees a fifth distinct type, or overflows a 32-bit slot,
+    /// spills every tally to one heap array and counts there from then on.
+    static constexpr std::size_t kInlineTypes = 4;
+    std::array<std::uint8_t, kInlineTypes> type_tags{};  ///< 0 = empty slot
+    std::array<std::uint32_t, kInlineTypes> type_counts{};
+    std::unique_ptr<std::array<std::uint64_t, 32>> type_spill;
+
+    void count(PacketType type) {
+        const auto tag = static_cast<std::uint8_t>(type);
+        if (type_spill) {
+            ++(*type_spill)[tag];
+            return;
+        }
+        for (std::size_t i = 0; i < kInlineTypes; ++i) {
+            if (type_tags[i] == tag) {
+                if (++type_counts[i] == 0) {  // u32 wrapped: move to u64 spill
+                    spill();
+                    (*type_spill)[tag] += std::uint64_t{1} << 32;
+                }
+                return;
+            }
+            if (type_tags[i] == 0) {
+                type_tags[i] = tag;
+                type_counts[i] = 1;
+                return;
+            }
+        }
+        spill();
+        ++(*type_spill)[tag];
+    }
 
     [[nodiscard]] std::uint64_t packets_of(PacketType t) const {
-        return by_type[static_cast<std::size_t>(t)];
+        const auto tag = static_cast<std::uint8_t>(t);
+        if (type_spill) return (*type_spill)[tag];
+        for (std::size_t i = 0; i < kInlineTypes; ++i)
+            if (type_tags[i] == tag) return type_counts[i];
+        return 0;
+    }
+
+private:
+    void spill() {
+        type_spill = std::make_unique<std::array<std::uint64_t, 32>>();
+        for (std::size_t i = 0; i < kInlineTypes; ++i)
+            if (type_tags[i] != 0) (*type_spill)[type_tags[i]] = type_counts[i];
     }
 };
 
 class Link {
 public:
-    Link(NodeId from, NodeId to, LinkSpec spec)
-        : from_(from), to_(to), spec_(spec), loss_(std::make_unique<NoLoss>()) {}
+    Link(NodeId from, NodeId to, LinkSpec spec) : from_(from), to_(to), spec_(spec) {}
 
-    void set_loss_model(std::unique_ptr<LossModel> model) {
-        loss_ = model ? std::move(model) : std::make_unique<NoLoss>();
-    }
+    /// Null means lossless -- the default costs no allocation per link, and
+    /// transmit() skips the virtual call entirely (NoLoss draws no RNG, so
+    /// the skip is bit-identical).
+    void set_loss_model(std::unique_ptr<LossModel> model) { loss_ = std::move(model); }
 
     /// Re-spec this cable direction in place (Network::add_link over an
     /// existing pair).  Live traffic state survives -- the busy horizon,
@@ -76,7 +120,7 @@ public:
     /// for a newly added link.
     void respec(const LinkSpec& spec) {
         spec_ = spec;
-        loss_ = std::make_unique<NoLoss>();
+        loss_.reset();
     }
 
     /// Account and time one packet handed to this link at `now`.
@@ -99,14 +143,14 @@ public:
             busy_until_ = depart;  // lost packets still burn wire time
         }
 
-        if (loss_->drop(rng, now)) {
+        if (loss_ && loss_->drop(rng, now)) {
             ++stats_.drops_loss;
             return std::nullopt;
         }
 
         ++stats_.packets;
         stats_.bytes += bytes;
-        ++stats_.by_type[static_cast<std::size_t>(type)];
+        stats_.count(type);
         return depart + spec_.propagation;
     }
 

@@ -4,8 +4,9 @@
 #include <chrono>
 #include <cstdlib>
 #include <limits>
-#include <queue>
 #include <stdexcept>
+#include <string_view>
+#include <thread>
 
 #include "sim/sim_host.hpp"
 
@@ -35,10 +36,27 @@ constexpr std::int64_t kInfDist = std::numeric_limits<std::int64_t>::max();
     return (static_cast<std::uint64_t>(from) << 32) | to;
 }
 
+/// Link-index key: (from node index, to node index) packed into 64 bits.
+[[nodiscard]] std::uint64_t pair_key(std::size_t from, std::size_t to) {
+    return (static_cast<std::uint64_t>(from) << 32) | static_cast<std::uint64_t>(to);
+}
+
+[[nodiscard]] SimFinalizeMode resolve_finalize_mode(SimFinalizeMode configured) {
+    const char* env = std::getenv("LBRM_SIM_FINALIZE");
+    if (env == nullptr) return configured;
+    const std::string_view v{env};
+    if (v == "serial") return SimFinalizeMode::kSerial;
+    if (v == "parallel") return SimFinalizeMode::kParallel;
+    if (v == "lazy") return SimFinalizeMode::kLazy;
+    return configured;
+}
+
 }  // namespace
 
 Network::Network(Simulator& simulator, std::uint64_t seed, SimConfig config)
     : simulator_(simulator), rng_(seed),
+      finalize_mode_(resolve_finalize_mode(config.finalize_mode)),
+      finalize_threads_(config.finalize_threads),
       path_cache_capacity_(config.path_cache_capacity),
       tree_cache_capacity_(config.tree_cache_capacity),
       flat_routes_requested_(config.flat_routes ||
@@ -63,37 +81,55 @@ void Network::destroy(DeliveryBase* d) {
 }
 
 void Network::reserve(std::size_t nodes, std::size_t directed_links) {
-    nodes_.reserve(nodes);
-    links_.reserve(directed_links);
+    node_site_id_.reserve(nodes);
+    node_is_router_.reserve(nodes);
+    node_down_.reserve(nodes);
+    edge_head_.reserve(nodes);
+    edge_tail_.reserve(nodes);
+    node_host_.reserve(nodes);
+    edge_cells_.reserve(directed_links);
+    link_index_.reserve(directed_links);
 }
 
 NodeId Network::add_node(SiteId site, bool is_router) {
-    NodeRec record;
-    record.site = site;
-    record.is_router = is_router;
-    nodes_.push_back(std::move(record));
+    node_site_id_.push_back(site);
+    node_is_router_.push_back(is_router ? 1 : 0);
+    node_down_.push_back(0);
+    edge_head_.push_back(kNoIndex);
+    edge_tail_.push_back(kNoIndex);
     finalized_ = false;
-    return NodeId{static_cast<std::uint32_t>(nodes_.size())};
+    return NodeId{static_cast<std::uint32_t>(node_site_id_.size())};
 }
 
 void Network::add_link(NodeId a, NodeId b, const LinkSpec& spec) {
-    if (index(a) >= nodes_.size() || index(b) >= nodes_.size() || a == b)
+    if (index(a) >= node_count() || index(b) >= node_count() || a == b)
         throw std::invalid_argument("Network::add_link: bad endpoints");
     auto install = [this, &spec](NodeId from, NodeId to) {
         if (Link* existing = link(from, to)) {
             existing->respec(spec);
             return;
         }
-        links_.push_back(std::make_unique<Link>(from, to, spec));
-        rec(from).out_links.push_back(
-            OutEdge{static_cast<std::uint32_t>(index(to)), links_.back().get()});
+        Link& l = links_.emplace_back(from, to, spec);
+        const std::size_t fi = index(from);
+        const std::size_t ti = index(to);
+        const std::uint32_t cell = static_cast<std::uint32_t>(edge_cells_.size());
+        edge_cells_.push_back(EdgeCell{static_cast<std::uint32_t>(ti), kNoIndex, &l});
+        if (edge_head_[fi] == kNoIndex)
+            edge_head_[fi] = cell;
+        else
+            edge_cells_[edge_tail_[fi]].next = cell;
+        edge_tail_[fi] = cell;
+        link_index_.emplace(pair_key(fi, ti), &l);
     };
     install(a, b);
     install(b, a);
     // A changed edge can invalidate any cached tree or cached path, so both
     // caches drop immediately -- not just at the next finalize().  In-flight
     // deliveries keep their pinned trees and complete on the pre-change
-    // routes, as before.
+    // routes, as before.  The CSR snapshot is *not* rebuilt here: routing
+    // (including lazily built rows) keeps reading the finalize-time
+    // adjacency until the required finalize(), exactly as the eagerly
+    // built tables kept serving stale routes.
     invalidate_all_trees();
     clear_path_cache();
     finalized_ = false;
@@ -106,43 +142,82 @@ void Network::set_loss(NodeId a, NodeId b, std::unique_ptr<LossModel> model) {
 }
 
 void Network::set_node_down(NodeId node, bool down) {
-    if (rec(node).down != down) invalidate_all_trees();
-    rec(node).down = down;
+    const std::size_t i = index(node);
+    if ((node_down_[i] != 0) != down) invalidate_all_trees();
+    node_down_[i] = down ? 1 : 0;
     // The path cache is untouched: routes are a pure function of the
     // tables built at the last finalize() -- the flat matrices bake
-    // liveness into the Dijkstra runs, and compose_hop consults the
-    // border_down_ snapshot taken by build_hierarchical_routes, never the
-    // live flags -- so a downed relay blackholes until re-finalize, like
-    // an unconverged routing protocol, and cache occupancy can never
-    // change outcomes.  Trees must drop because membership pruning *does*
-    // consult liveness at build time.
+    // liveness into the Dijkstra runs, and every site-table row (built
+    // eagerly or lazily) plus compose_hop consult the route_down_ /
+    // border_down_ snapshots, never the live flags -- so a downed relay
+    // blackholes until re-finalize, like an unconverged routing protocol,
+    // and cache occupancy can never change outcomes.  Trees must drop
+    // because membership pruning *does* consult liveness at build time.
+}
+
+Link* Network::find_link(std::uint64_t key) const {
+    const auto it = std::lower_bound(
+        link_flat_.begin(), link_flat_.end(), key,
+        [](const std::pair<std::uint64_t, Link*>& e, std::uint64_t k) {
+            return e.first < k;
+        });
+    if (it != link_flat_.end() && it->first == key) return it->second;
+    const auto mit = link_index_.find(key);
+    return mit != link_index_.end() ? mit->second : nullptr;
 }
 
 Link* Network::link(NodeId a, NodeId b) {
-    const std::uint32_t want = static_cast<std::uint32_t>(index(b));
-    for (const OutEdge& e : rec(a).out_links)
-        if (e.to == want) return e.link;
-    return nullptr;
+    if (index(a) >= node_count() || index(b) >= node_count()) return nullptr;
+    return find_link(pair_key(index(a), index(b)));
 }
 
 const Link* Network::link(NodeId a, NodeId b) const {
-    const std::uint32_t want = static_cast<std::uint32_t>(index(b));
-    for (const OutEdge& e : rec(a).out_links)
-        if (e.to == want) return e.link;
-    return nullptr;
+    if (index(a) >= node_count() || index(b) >= node_count()) return nullptr;
+    return find_link(pair_key(index(a), index(b)));
 }
-
-SiteId Network::site_of(NodeId node) const { return rec(node).site; }
 
 // ---------------------------------------------------------------------------
 // Routing: finalize() builds either the flat matrices or the hierarchical
-// site/backbone tables (DESIGN.md "Hierarchical routing").
+// site/backbone tables (DESIGN.md "Hierarchical routing", "Scale
+// engineering").
 // ---------------------------------------------------------------------------
+
+void Network::build_adjacency() {
+    const std::size_t n = node_count();
+    csr_offset_.assign(n + 1, 0);
+    csr_to_.clear();
+    csr_link_.clear();
+    csr_to_.reserve(edge_cells_.size());
+    csr_link_.reserve(edge_cells_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        csr_offset_[i] = static_cast<std::uint32_t>(csr_to_.size());
+        for (std::uint32_t c = edge_head_[i]; c != kNoIndex; c = edge_cells_[c].next) {
+            csr_to_.push_back(edge_cells_[c].to);
+            csr_link_.push_back(edge_cells_[c].link);
+        }
+    }
+    csr_offset_[n] = static_cast<std::uint32_t>(csr_to_.size());
+
+    // Drain the construction-time hash map into the sorted flat index and
+    // free its buckets (see the member comment for the memory math).
+    if (!link_index_.empty()) {
+        link_flat_.reserve(link_flat_.size() + link_index_.size());
+        for (const auto& [key, l] : link_index_) link_flat_.emplace_back(key, l);
+        std::sort(link_flat_.begin(), link_flat_.end());
+        std::unordered_map<std::uint64_t, Link*>{}.swap(link_index_);
+    }
+}
 
 void Network::finalize() {
     invalidate_all_trees();
     clear_path_cache();
+    // Snapshot adjacency and liveness: every table row -- including rows a
+    // lazy finalize materialises mid-run -- is a pure function of these,
+    // so build order/time cannot change a route.
+    build_adjacency();
+    route_down_.assign(node_down_.begin(), node_down_.end());
     built_flat_ = flat_routes_requested_;
+    rows_built_.store(0, std::memory_order_relaxed);
     if (built_flat_) {
         // Release the hierarchical tables (mode may have flipped).
         std::vector<SiteTable>().swap(site_tables_);
@@ -164,7 +239,7 @@ void Network::finalize() {
 }
 
 void Network::build_flat_routes() {
-    const std::size_t n = nodes_.size();
+    const std::size_t n = node_count();
     routes_.assign(n * n, 0);
     route_links_.assign(n * n, nullptr);
 
@@ -188,15 +263,15 @@ void Network::build_flat_routes() {
             auto [d, u] = pq.top();
             pq.pop();
             if (d != dist[u]) continue;
-            if (u != src && nodes_[u].down) continue;  // no transit via dead nodes
-            for (const OutEdge& e : nodes_[u].out_links) {
-                const std::size_t v = e.to;
-                const std::int64_t w = edge_weight(e.link);
+            if (u != src && route_down_[u]) continue;  // no transit via dead nodes
+            for (std::uint32_t k = csr_offset_[u]; k != csr_offset_[u + 1]; ++k) {
+                const std::size_t v = csr_to_[k];
+                const std::int64_t w = edge_weight(csr_link_[k]);
                 if (d + w < dist[v]) {
                     dist[v] = d + w;
                     first_hop[v] = (u == src) ? static_cast<std::uint32_t>(v + 1)
                                               : first_hop[u];
-                    first_link[v] = (u == src) ? e.link : first_link[u];
+                    first_link[v] = (u == src) ? csr_link_[k] : first_link[u];
                     pq.emplace(dist[v], static_cast<std::uint32_t>(v));
                 }
             }
@@ -209,7 +284,7 @@ void Network::build_flat_routes() {
 }
 
 void Network::build_hierarchical_routes() {
-    const std::size_t n = nodes_.size();
+    const std::size_t n = node_count();
 
     // 1. Group nodes into dense site indices (first-appearance order).
     site_tables_.clear();
@@ -217,7 +292,7 @@ void Network::build_hierarchical_routes() {
     node_local_.assign(n, 0);
     std::unordered_map<std::uint32_t, std::uint32_t> site_index;
     for (std::size_t i = 0; i < n; ++i) {
-        const std::uint32_t key = nodes_[i].site.value();
+        const std::uint32_t key = node_site_id_[i].value();
         auto [it, inserted] = site_index.emplace(
             key, static_cast<std::uint32_t>(site_tables_.size()));
         if (inserted) site_tables_.emplace_back();
@@ -226,13 +301,21 @@ void Network::build_hierarchical_routes() {
         node_local_[i] = static_cast<std::uint32_t>(table.nodes.size());
         table.nodes.push_back(static_cast<std::uint32_t>(i));
     }
+    // Pre-size every row slot now: the parallel workers below then write
+    // disjoint slots with no shared mutable state, and lazy builds later
+    // fill whichever slot traffic first touches.
+    for (SiteTable& table : site_tables_) {
+        table.rows.clear();
+        table.rows.resize(table.nodes.size());
+        table.borders.clear();
+    }
 
     // 2. Border nodes: any node with an inter-site link (ascending index).
     border_nodes_.clear();
     node_border_.assign(n, kNoIndex);
     for (std::size_t i = 0; i < n; ++i) {
-        for (const OutEdge& e : nodes_[i].out_links) {
-            if (node_site_[e.to] != node_site_[i]) {
+        for (std::uint32_t k = csr_offset_[i]; k != csr_offset_[i + 1]; ++k) {
+            if (node_site_[csr_to_[k]] != node_site_[i]) {
                 node_border_[i] = static_cast<std::uint32_t>(border_nodes_.size());
                 border_nodes_.push_back(static_cast<std::uint32_t>(i));
                 site_tables_[node_site_[i]].borders.push_back(
@@ -241,68 +324,127 @@ void Network::build_hierarchical_routes() {
             }
         }
     }
-    // Snapshot border liveness: compose_hop must see the state the tables
-    // were built under, not later set_node_down transitions (which only
-    // take routing effect at the next finalize, in both schemes).
+    // Border projection of the liveness snapshot: compose_hop must see the
+    // state the tables were built under, not later set_node_down
+    // transitions (which only take routing effect at the next finalize, in
+    // both schemes).
     border_down_.assign(border_nodes_.size(), 0);
     for (std::size_t b = 0; b < border_nodes_.size(); ++b)
-        border_down_[b] = nodes_[border_nodes_[b]].down ? 1 : 0;
+        border_down_[b] = route_down_[border_nodes_[b]];
 
-    // 3. Per-site all-pairs tables: Dijkstra from each site node over the
-    //    site's own subgraph (same dead-relay rule as the flat scheme).
-    std::vector<std::int64_t> dist;
-    std::vector<std::uint32_t> first_hop;
-    std::vector<Link*> first_link;
-    for (SiteTable& table : site_tables_) {
-        const std::size_t m = table.size();
-        table.dist.assign(m * m, kInfDist);
-        table.next.assign(m * m, kNoIndex);
-        table.next_link.assign(m * m, nullptr);
-        dist.assign(m, kInfDist);
-        first_hop.assign(m, kNoIndex);
-        first_link.assign(m, nullptr);
+    // 3. Per-site all-pairs rows (serial, parallel or lazy -- identical
+    //    bytes either way; see build_site_row).
+    build_site_rows();
 
-        for (std::size_t src = 0; src < m; ++src) {
-            std::fill(dist.begin(), dist.end(), kInfDist);
-            std::fill(first_hop.begin(), first_hop.end(), kNoIndex);
-            std::fill(first_link.begin(), first_link.end(), nullptr);
-            dist[src] = 0;
+    // 4. Backbone all-pairs over the border nodes (needs the border rows,
+    //    which every mode has built by now).
+    build_backbone();
+}
 
-            using QE = std::pair<std::int64_t, std::uint32_t>;  // (distance, local index)
-            std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
-            pq.emplace(0, static_cast<std::uint32_t>(src));
-            while (!pq.empty()) {
-                auto [d, u] = pq.top();
-                pq.pop();
-                if (d != dist[u]) continue;
-                const std::uint32_t gu = table.nodes[u];
-                if (u != src && nodes_[gu].down) continue;
-                for (const OutEdge& e : nodes_[gu].out_links) {
-                    if (node_site_[e.to] != node_site_[gu]) continue;  // intra only
-                    const std::uint32_t v = node_local_[e.to];
-                    const std::int64_t w = edge_weight(e.link);
-                    if (d + w < dist[v]) {
-                        dist[v] = d + w;
-                        first_hop[v] = (u == src) ? e.to : first_hop[u];
-                        first_link[v] = (u == src) ? e.link : first_link[u];
-                        pq.emplace(dist[v], v);
+void Network::build_site_rows() {
+    const std::size_t sites = site_tables_.size();
+    switch (finalize_mode_) {
+        case SimFinalizeMode::kLazy:
+            // Only the rows the backbone build needs: one per border node.
+            // Everything else materialises on first touch (ensure_row).
+            for (std::size_t s = 0; s < sites; ++s)
+                for (const std::uint32_t gb : site_tables_[s].borders)
+                    build_site_row(static_cast<std::uint32_t>(s), node_local_[gb],
+                                   scratch_);
+            return;
+        case SimFinalizeMode::kParallel: {
+            unsigned workers = finalize_threads_ != 0
+                                   ? finalize_threads_
+                                   : std::thread::hardware_concurrency();
+            if (workers == 0) workers = 1;
+            workers = static_cast<unsigned>(
+                std::min<std::size_t>(workers, std::max<std::size_t>(sites, 1)));
+            if (workers > 1) {
+                // Sites are independent: each worker claims sites off a
+                // shared counter and fills that site's pre-sized row slots.
+                // No two threads ever touch the same row, and all shared
+                // inputs (CSR, route_down_, site indexing) are read-only.
+                std::atomic<std::size_t> next_site{0};
+                auto work = [this, &next_site, sites] {
+                    DijkstraScratch scratch;
+                    for (;;) {
+                        const std::size_t s =
+                            next_site.fetch_add(1, std::memory_order_relaxed);
+                        if (s >= sites) break;
+                        const std::size_t m = site_tables_[s].size();
+                        for (std::size_t src = 0; src < m; ++src)
+                            build_site_row(static_cast<std::uint32_t>(s),
+                                           static_cast<std::uint32_t>(src), scratch);
                     }
-                }
+                };
+                std::vector<std::thread> pool;
+                pool.reserve(workers - 1);
+                for (unsigned t = 1; t < workers; ++t) pool.emplace_back(work);
+                work();
+                for (std::thread& t : pool) t.join();
+                return;
             }
-            for (std::size_t dst = 0; dst < m; ++dst) {
-                table.dist[src * m + dst] = dist[dst];
-                table.next[src * m + dst] = first_hop[dst];
-                table.next_link[src * m + dst] = first_link[dst];
+            [[fallthrough]];
+        }
+        case SimFinalizeMode::kSerial:
+            for (std::size_t s = 0; s < sites; ++s) {
+                const std::size_t m = site_tables_[s].size();
+                for (std::size_t src = 0; src < m; ++src)
+                    build_site_row(static_cast<std::uint32_t>(s),
+                                   static_cast<std::uint32_t>(src), scratch_);
+            }
+            return;
+    }
+}
+
+void Network::build_site_row(std::uint32_t site, std::uint32_t src_local,
+                             DijkstraScratch& s) {
+    SiteTable& table = site_tables_[site];
+    const std::size_t m = table.size();
+    s.dist.assign(m, kInfDist);
+    s.first_hop.assign(m, kNoIndex);
+    s.first_link.assign(m, nullptr);
+    s.dist[src_local] = 0;
+    s.pq.emplace(0, src_local);
+
+    // Dijkstra over the site's own subgraph (same dead-relay rule as the
+    // flat scheme), against the finalize-time adjacency + liveness
+    // snapshots -- never live state, so a lazily built row is bit-identical
+    // to the same row built eagerly.
+    while (!s.pq.empty()) {
+        auto [d, u] = s.pq.top();
+        s.pq.pop();
+        if (d != s.dist[u]) continue;
+        const std::uint32_t gu = table.nodes[u];
+        if (u != src_local && route_down_[gu]) continue;
+        for (std::uint32_t k = csr_offset_[gu]; k != csr_offset_[gu + 1]; ++k) {
+            const std::uint32_t gv = csr_to_[k];
+            if (node_site_[gv] != site) continue;  // intra only
+            const std::uint32_t v = node_local_[gv];
+            const std::int64_t w = edge_weight(csr_link_[k]);
+            if (d + w < s.dist[v]) {
+                s.dist[v] = d + w;
+                s.first_hop[v] = (u == src_local) ? gv : s.first_hop[u];
+                s.first_link[v] = (u == src_local) ? csr_link_[k] : s.first_link[u];
+                s.pq.emplace(s.dist[v], v);
             }
         }
     }
 
-    // 4. Backbone all-pairs over the border nodes.  Edges: real inter-site
-    //    links, plus one virtual edge per same-site border pair weighted by
-    //    the intra-site distance -- so inter-border travel *through* a
-    //    site's interior is represented and the composed metric is exact.
-    //    The first physical hop of each virtual edge is resolved through
-    //    the intra-site table at build time, making descent O(1).
+    auto row = std::make_unique<RowCell[]>(m);
+    for (std::size_t i = 0; i < m; ++i)
+        row[i] = RowCell{s.dist[i], s.first_hop[i], s.first_link[i]};
+    table.rows[src_local] = std::move(row);
+    rows_built_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Network::build_backbone() {
+    // Backbone all-pairs over the border nodes.  Edges: real inter-site
+    // links, plus one virtual edge per same-site border pair weighted by
+    // the intra-site distance -- so inter-border travel *through* a site's
+    // interior is represented and the composed metric is exact.  The first
+    // physical hop of each virtual edge is resolved through the intra-site
+    // rows at build time, making descent O(1).
     const std::size_t nb = border_nodes_.size();
     bb_dist_.assign(nb * nb, kInfDist);
     bb_next_node_.assign(nb * nb, kNoIndex);
@@ -325,37 +467,33 @@ void Network::build_hierarchical_routes() {
             pq.pop();
             if (d != bdist[u]) continue;
             const std::uint32_t gu = border_nodes_[u];
-            if (u != src && nodes_[gu].down) continue;
+            if (u != src && route_down_[gu]) continue;
 
             // Real inter-site links (adjacency order, as in the flat scheme).
-            for (const OutEdge& e : nodes_[gu].out_links) {
-                if (node_site_[e.to] == node_site_[gu]) continue;
-                const std::uint32_t v = node_border_[e.to];  // inter-site => border
-                const std::int64_t w = edge_weight(e.link);
+            for (std::uint32_t k = csr_offset_[gu]; k != csr_offset_[gu + 1]; ++k) {
+                const std::uint32_t gv = csr_to_[k];
+                if (node_site_[gv] == node_site_[gu]) continue;
+                const std::uint32_t v = node_border_[gv];  // inter-site => border
+                const std::int64_t w = edge_weight(csr_link_[k]);
                 if (d + w < bdist[v]) {
                     bdist[v] = d + w;
-                    bfirst_node[v] = (u == src) ? e.to : bfirst_node[u];
-                    bfirst_link[v] = (u == src) ? e.link : bfirst_link[u];
+                    bfirst_node[v] = (u == src) ? gv : bfirst_node[u];
+                    bfirst_link[v] = (u == src) ? csr_link_[k] : bfirst_link[u];
                     pq.emplace(bdist[v], v);
                 }
             }
             // Virtual intra-site edges to the site's other borders.
             const SiteTable& table = site_tables_[node_site_[gu]];
-            const std::size_t m = table.size();
-            const std::size_t lu = node_local_[gu];
+            const RowCell* row = table.rows[node_local_[gu]].get();
             for (const std::uint32_t gv : table.borders) {
                 if (gv == gu) continue;
-                const std::int64_t w = table.dist[lu * m + node_local_[gv]];
-                if (w == kInfDist) continue;
+                const RowCell& cell = row[node_local_[gv]];
+                if (cell.dist == kInfDist) continue;
                 const std::uint32_t v = node_border_[gv];
-                if (d + w < bdist[v]) {
-                    bdist[v] = d + w;
-                    bfirst_node[v] = (u == src)
-                                         ? table.next[lu * m + node_local_[gv]]
-                                         : bfirst_node[u];
-                    bfirst_link[v] = (u == src)
-                                         ? table.next_link[lu * m + node_local_[gv]]
-                                         : bfirst_link[u];
+                if (d + cell.dist < bdist[v]) {
+                    bdist[v] = d + cell.dist;
+                    bfirst_node[v] = (u == src) ? cell.next : bfirst_node[u];
+                    bfirst_link[v] = (u == src) ? cell.link : bfirst_link[u];
                     pq.emplace(bdist[v], v);
                 }
             }
@@ -368,26 +506,27 @@ void Network::build_hierarchical_routes() {
     }
 }
 
-Network::Hop Network::compose_hop(std::uint32_t from, std::uint32_t to) const {
+Network::Hop Network::compose_hop(std::uint32_t from, std::uint32_t to) {
     const std::uint32_t su = node_site_[from];
     const std::uint32_t sv = node_site_[to];
-    const SiteTable& stu = site_tables_[su];
-    const SiteTable& stv = site_tables_[sv];
-    const std::size_t mu = stu.size();
-    const std::size_t mv = stv.size();
+    SiteTable& stu = site_tables_[su];
+    SiteTable& stv = site_tables_[sv];
     const std::size_t lu = node_local_[from];
     const std::size_t lv = node_local_[to];
     const std::size_t nb = border_nodes_.size();
+
+    ensure_row(su, static_cast<std::uint32_t>(lu));
+    const RowCell* ru = stu.rows[lu].get();
 
     std::int64_t best = kInfDist;
     Hop choice;
 
     // Candidate 1: stay inside the shared site.
     if (su == sv) {
-        const std::int64_t d = stu.dist[lu * mu + lv];
-        if (d < kInfDist) {
-            best = d;
-            choice = Hop{stu.next[lu * mu + lv], stu.next_link[lu * mu + lv]};
+        const RowCell& c = ru[lv];
+        if (c.dist < kInfDist) {
+            best = c.dist;
+            choice = Hop{c.next, c.link};
         }
     }
 
@@ -396,31 +535,33 @@ Network::Hop Network::compose_hop(std::uint32_t from, std::uint32_t to) const {
     // Borders down *at the last finalize* never relay, but may still be
     // the endpoint itself; liveness comes from the border_down_ snapshot,
     // never the live flags, so a mid-run set_node_down leaves routing
-    // untouched until re-finalize (matching the flat matrices).
+    // untouched until re-finalize (matching the flat matrices).  Every row
+    // consulted here is either `from`'s own (ensured above) or a border
+    // row, which every finalize mode builds eagerly.
     for (const std::uint32_t b1 : stu.borders) {
         if (border_down_[node_border_[b1]] && b1 != from) continue;
-        const std::int64_t du = (b1 == from) ? 0 : stu.dist[lu * mu + node_local_[b1]];
+        const std::int64_t du = (b1 == from) ? 0 : ru[node_local_[b1]].dist;
         if (du == kInfDist || du >= best) continue;
-        const std::size_t row = node_border_[b1] * nb;
+        const std::size_t row = static_cast<std::size_t>(node_border_[b1]) * nb;
         for (const std::uint32_t b2 : stv.borders) {
             if (border_down_[node_border_[b2]] && b2 != to) continue;
             const std::int64_t bb = bb_dist_[row + node_border_[b2]];
             if (bb == kInfDist) continue;
             const std::int64_t dv =
-                (b2 == to) ? 0 : stv.dist[node_local_[b2] * mv + lv];
+                (b2 == to) ? 0 : stv.rows[node_local_[b2]][lv].dist;
             if (dv == kInfDist) continue;
             const std::int64_t total = du + bb + dv;
             if (total >= best) continue;
             best = total;
             if (from != b1) {
-                const std::size_t idx = lu * mu + node_local_[b1];
-                choice = Hop{stu.next[idx], stu.next_link[idx]};
+                const RowCell& c = ru[node_local_[b1]];
+                choice = Hop{c.next, c.link};
             } else if (b1 != b2) {
                 const std::size_t idx = row + node_border_[b2];
                 choice = Hop{bb_next_node_[idx], bb_next_link_[idx]};
             } else {  // from is both exit and entry border: pure intra tail
-                const std::size_t idx = node_local_[b2] * mv + lv;
-                choice = Hop{stv.next[idx], stv.next_link[idx]};
+                const RowCell& c = stv.rows[node_local_[b2]][lv];
+                choice = Hop{c.next, c.link};
             }
         }
     }
@@ -433,12 +574,12 @@ Network::Hop Network::hop_toward(std::uint32_t from, std::uint32_t to) {
     // a mid-run add_link, exactly as the flat matrices kept serving.
     if (from == to) return Hop{};
     if (built_flat_) {
-        const std::size_t n = nodes_.size();
+        const std::size_t n = node_count();
         const std::uint32_t hop = routes_[from * n + to];
         if (hop == 0) return Hop{};
         return Hop{hop - 1, route_links_[from * n + to]};
     }
-    // Same-site next hops come straight from the intra-site matrices; only
+    // Same-site next hops come straight from the intra-site rows; only
     // cross-site compositions go through the LRU path cache.
     if (node_site_[from] == node_site_[to]) return compose_hop(from, to);
 
@@ -463,18 +604,84 @@ void Network::clear_path_cache() {
     path_lru_.clear();
 }
 
+std::uint64_t Network::routing_table_hash() {
+    std::uint64_t h = 14695981039346656037ULL;  // FNV-1a 64 offset basis
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFFu;
+            h *= 1099511628211ULL;
+        }
+    };
+    auto mix_link = [&mix](const Link* l) {
+        mix(l != nullptr ? (static_cast<std::uint64_t>(l->from().value()) << 32) |
+                               l->to().value()
+                         : 0);
+    };
+    if (built_flat_) {
+        mix(routes_.size());
+        for (const std::uint32_t v : routes_) mix(v);
+        for (const Link* l : route_links_) mix_link(l);
+        return h;
+    }
+    for (std::size_t s = 0; s < site_tables_.size(); ++s) {
+        SiteTable& t = site_tables_[s];
+        const std::size_t m = t.size();
+        mix(m);
+        for (const std::uint32_t v : t.nodes) mix(v);
+        for (const std::uint32_t v : t.borders) mix(v);
+        for (std::size_t l = 0; l < m; ++l) {
+            ensure_row(static_cast<std::uint32_t>(s), static_cast<std::uint32_t>(l));
+            const RowCell* row = t.rows[l].get();
+            for (std::size_t j = 0; j < m; ++j) {
+                mix(static_cast<std::uint64_t>(row[j].dist));
+                mix(row[j].next);
+                mix_link(row[j].link);
+            }
+        }
+    }
+    for (const std::uint32_t v : border_nodes_) mix(v);
+    for (const std::uint8_t v : border_down_) mix(v);
+    for (const std::int64_t v : bb_dist_) mix(static_cast<std::uint64_t>(v));
+    for (const std::uint32_t v : bb_next_node_) mix(v);
+    for (const Link* l : bb_next_link_) mix_link(l);
+    return h;
+}
+
 // ---------------------------------------------------------------------------
 // Membership & tree-cache bookkeeping
 // ---------------------------------------------------------------------------
 
+Network::GroupRec* Network::find_group(GroupId group) {
+    auto it = std::lower_bound(
+        groups_.begin(), groups_.end(), group,
+        [](const GroupRec& g, GroupId id) { return g.id.value() < id.value(); });
+    return (it != groups_.end() && it->id == group) ? &*it : nullptr;
+}
+
 void Network::join(GroupId group, NodeId node) {
-    groups_[group].insert(node);
+    auto it = std::lower_bound(
+        groups_.begin(), groups_.end(), group,
+        [](const GroupRec& g, GroupId id) { return g.id.value() < id.value(); });
+    if (it == groups_.end() || it->id != group)
+        it = groups_.insert(it, GroupRec{group, {}});
+    std::vector<NodeId>& members = it->members;
+    // Members stay sorted ascending (the former std::set iteration order).
+    // Scenario wiring joins in ascending node order, so the common case is
+    // an O(1) append.
+    if (members.empty() || members.back() < node) {
+        members.push_back(node);
+    } else {
+        auto mit = std::lower_bound(members.begin(), members.end(), node);
+        if (mit == members.end() || *mit != node) members.insert(mit, node);
+    }
     invalidate_trees_for(group);
 }
 
 void Network::leave(GroupId group, NodeId node) {
-    auto it = groups_.find(group);
-    if (it != groups_.end()) it->second.erase(node);
+    if (GroupRec* g = find_group(group)) {
+        auto mit = std::lower_bound(g->members.begin(), g->members.end(), node);
+        if (mit != g->members.end() && *mit == node) g->members.erase(mit);
+    }
     invalidate_trees_for(group);
 }
 
@@ -532,17 +739,23 @@ std::size_t Network::tree_cache_bytes() const {
 }
 
 SimHost& Network::attach_host(NodeId node) {
-    NodeRec& record = rec(node);
-    if (!record.host) record.host = std::make_unique<SimHost>(*this, simulator_, node);
-    return *record.host;
+    const std::size_t i = index(node);
+    if (node_host_.size() < node_count()) node_host_.resize(node_count(), nullptr);
+    if (node_host_[i] == nullptr)
+        node_host_[i] = &host_arena_.emplace_back(*this, simulator_, node);
+    return *node_host_[i];
 }
 
-SimHost* Network::host(NodeId node) { return rec(node).host.get(); }
+SimHost* Network::host(NodeId node) {
+    const std::size_t i = index(node);
+    return i < node_host_.size() ? node_host_[i] : nullptr;
+}
 
 void Network::deliver_local(NodeId node, const Packet& packet) {
-    NodeRec& record = rec(node);
-    if (record.down || !record.host) return;
-    record.host->deliver(simulator_.now(), packet);
+    const std::size_t i = index(node);
+    if (node_down_[i] != 0) return;
+    SimHost* h = i < node_host_.size() ? node_host_[i] : nullptr;
+    if (h != nullptr) h->deliver(simulator_.now(), packet);
 }
 
 // ---------------------------------------------------------------------------
@@ -595,7 +808,7 @@ void Network::drain_link(Link* l) {
 struct Network::UnicastDelivery final : DeliveryBase {
     UnicastDelivery(Network& n, const Packet& p, std::uint32_t to_index)
         : DeliveryBase(n), packet(p), bytes(encoded_size(p)), type(p.type()),
-          to(to_index), hops_left(static_cast<std::uint32_t>(n.nodes_.size())) {}
+          to(to_index), hops_left(static_cast<std::uint32_t>(n.node_count())) {}
 
     Packet packet;
     std::size_t bytes;
@@ -605,7 +818,7 @@ struct Network::UnicastDelivery final : DeliveryBase {
 };
 
 void Network::unicast(NodeId from, NodeId to, const Packet& packet) {
-    if (rec(from).down) return;
+    if (node_down_[index(from)] != 0) return;
     if (from != to && !finalized_)
         throw std::logic_error("Network: finalize() before sending traffic");
     auto* d = new UnicastDelivery(*this, packet, static_cast<std::uint32_t>(index(to)));
@@ -644,7 +857,7 @@ void Network::forward_unicast(UnicastDelivery* d, std::uint32_t at) {
 }
 
 void Network::unicast_arrive(UnicastDelivery* d, std::uint32_t at) {
-    if (nodes_[at].down) {
+    if (node_down_[at] != 0) {
         destroy(d);
         return;
     }
@@ -673,9 +886,9 @@ struct Network::TreeDelivery final : DeliveryBase {
 };
 
 std::shared_ptr<const Network::CachedTree> Network::build_tree(
-    NodeId from, const std::set<NodeId>& members, McastScope scope) {
+    NodeId from, const std::vector<NodeId>& members, McastScope scope) {
     const auto t0 = std::chrono::steady_clock::now();
-    const std::size_t n = nodes_.size();
+    const std::size_t n = node_count();
     auto tree = std::make_shared<CachedTree>();
 
     // Scratch: node index -> tree entry slot, generation-marked.
@@ -716,7 +929,7 @@ std::shared_ptr<const Network::CachedTree> Network::build_tree(
     std::vector<std::uint32_t> path;
     std::vector<Link*> path_links;
     for (NodeId member : members) {
-        if (member == from || rec(member).down) continue;
+        if (member == from || node_down_[index(member)] != 0) continue;
         if (scope == McastScope::kSite && site_of(member) != sender_site) continue;
 
         // Walk the route hop by hop; collect the node chain and its links.
@@ -743,7 +956,7 @@ std::shared_ptr<const Network::CachedTree> Network::build_tree(
         if (scope == McastScope::kSite) {
             bool stays = true;
             for (std::uint32_t node : path)
-                if (nodes_[node].site != sender_site) stays = false;
+                if (node_site_id_[node] != sender_site) stays = false;
             if (!stays) continue;
         }
 
@@ -785,15 +998,15 @@ std::shared_ptr<const Network::CachedTree> Network::build_tree(
 
 void Network::multicast(NodeId from, const Packet& packet, McastScope scope) {
     if (!finalized_) throw std::logic_error("Network: finalize() before sending traffic");
-    if (rec(from).down) return;
-    auto git = groups_.find(packet.header.group);
-    if (git == groups_.end()) return;
+    if (node_down_[index(from)] != 0) return;
+    const GroupRec* group = find_group(packet.header.group);
+    if (group == nullptr) return;
 
     const std::uint64_t key = tree_key(packet.header.group, from);
     auto& by_scope = mcast_cache_[key];
     TreeSlot& slot = by_scope[static_cast<std::size_t>(scope)];
     if (!slot.tree) {
-        slot.tree = build_tree(from, git->second, scope);
+        slot.tree = build_tree(from, group->members, scope);
         tree_lru_.push_front(TreeRef{key, static_cast<std::uint8_t>(scope)});
         slot.lru = tree_lru_.begin();
         ++cached_trees_;
@@ -826,7 +1039,7 @@ void Network::multicast_step(TreeDelivery* d, std::uint32_t at) {
 
 void Network::multicast_arrive(TreeDelivery* d, std::uint32_t at) {
     const CachedTree::Node& node = d->tree->nodes[at];
-    if (!nodes_[node.node].down) {
+    if (node_down_[node.node] == 0) {
         if (node.member) deliver_local(NodeId{node.node + 1}, d->packet);
         multicast_step(d, at);
     }
@@ -858,14 +1071,16 @@ std::size_t Network::routing_table_bytes() const {
     for (const SiteTable& t : site_tables_) {
         total += t.nodes.capacity() * sizeof(std::uint32_t) +
                  t.borders.capacity() * sizeof(std::uint32_t) +
-                 t.dist.capacity() * sizeof(std::int64_t) +
-                 t.next.capacity() * sizeof(std::uint32_t) +
-                 t.next_link.capacity() * sizeof(Link*) + sizeof(SiteTable);
+                 t.rows.capacity() * sizeof(std::unique_ptr<RowCell[]>) +
+                 sizeof(SiteTable);
+        for (const auto& row : t.rows)
+            if (row) total += t.size() * sizeof(RowCell);
     }
     total += node_site_.capacity() * sizeof(std::uint32_t) +
              node_local_.capacity() * sizeof(std::uint32_t) +
              border_nodes_.capacity() * sizeof(std::uint32_t) +
              node_border_.capacity() * sizeof(std::uint32_t) +
+             route_down_.capacity() * sizeof(std::uint8_t) +
              border_down_.capacity() * sizeof(std::uint8_t);
     total += bb_dist_.capacity() * sizeof(std::int64_t) +
              bb_next_node_.capacity() * sizeof(std::uint32_t) +
@@ -879,13 +1094,13 @@ std::size_t Network::routing_table_bytes() const {
 std::uint64_t Network::count_packets(PacketType type,
                                      const std::function<bool(const Link&)>& pred) const {
     std::uint64_t total = 0;
-    for (const auto& l : links_)
-        if (!pred || pred(*l)) total += l->stats().packets_of(type);
+    for (const Link& l : links_)
+        if (!pred || pred(l)) total += l.stats().packets_of(type);
     return total;
 }
 
 void Network::reset_link_stats() {
-    for (auto& l : links_) l->reset_stats();
+    for (Link& l : links_) l.reset_stats();
 }
 
 }  // namespace lbrm::sim

@@ -8,6 +8,14 @@
 // TTL-limited repairs and discovery rings) prunes the tree: site scope never
 // leaves the sender's site; region scope is hop-limited.
 //
+// Node storage is struct-of-arrays (see DESIGN.md "Scale engineering"): the
+// hot routing fields (site, router flag, liveness) live in dense per-node
+// vectors, adjacency is a linked edge arena flattened into a CSR snapshot
+// at finalize(), and the cold protocol endpoints (SimHost) live by value in
+// a chunked arena behind a sparse node -> host pointer table.  Group
+// membership is sorted flat vectors (ascending node id -- the same
+// iteration order std::set gave).
+//
 // Routing is hierarchical by default (see DESIGN.md "Hierarchical
 // routing"), mirroring the paper's two-level site/backbone topology:
 // per-site intra-site shortest-path tables compose with an inter-site
@@ -21,6 +29,14 @@
 // schemes may tie-break differently -- see DESIGN.md "Hierarchical
 // routing", tie-breaking).
 //
+// The per-site tables build serially, in parallel (sites are independent;
+// a worker pool fills pre-sized disjoint row slots) or lazily on first
+// touch, selected by SimConfig::finalize_mode / LBRM_SIM_FINALIZE.  All
+// three modes are bit-identical: every row is a pure function of the
+// adjacency CSR and liveness snapshot taken at finalize(), so neither build
+// order nor build *time* can change a route (a lazily built row never sees
+// a post-finalize set_node_down or add_link).
+//
 // Delivery trees are cached per (group, sender, scope) behind an optional
 // LRU bound (SimConfig::tree_cache_capacity) and invalidated on membership
 // or topology change; per-send state is a single heap allocation whose
@@ -32,18 +48,19 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
+#include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
+#include "common/stable_vector.hpp"
 #include "core/actions.hpp"
 #include "core/config.hpp"
 #include "packet/packet.hpp"
@@ -91,9 +108,9 @@ public:
     /// then routes keep forwarding into it and packets die there, exactly
     /// as a real network blackholes until the routing protocol reconverges:
     /// both schemes route purely from finalize-time state (the flat
-    /// matrices bake liveness in; the hierarchical tables snapshot border
-    /// liveness into border_down_), so a down transition never changes
-    /// routing until the next finalize().
+    /// matrices and every site-table row -- even a lazily built one --
+    /// read the route_down_ snapshot; compose_hop reads border_down_), so a
+    /// down transition never changes routing until the next finalize().
     void set_node_down(NodeId node, bool down);
 
     /// Compute routing tables.  Must be called after the last add_link and
@@ -106,6 +123,7 @@ public:
 
     // --- host attachment ---------------------------------------------------
     /// Create (once) and return the protocol host bound to `node`.
+    /// The reference stays valid for the network's lifetime.
     SimHost& attach_host(NodeId node);
     [[nodiscard]] SimHost* host(NodeId node);
 
@@ -114,10 +132,18 @@ public:
     void multicast(NodeId from, const Packet& packet, McastScope scope);
 
     // --- introspection -------------------------------------------------------
+    /// The directed link a -> b, or nullptr when absent (including self
+    /// pairs and out-of-range ids).  O(1) via the endpoint-pair index.
     [[nodiscard]] Link* link(NodeId a, NodeId b);
     [[nodiscard]] const Link* link(NodeId a, NodeId b) const;
-    [[nodiscard]] SiteId site_of(NodeId node) const;
-    [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+    [[nodiscard]] SiteId site_of(NodeId node) const {
+        return node_site_id_[index(node)];
+    }
+    [[nodiscard]] bool is_router(NodeId node) const {
+        return node_is_router_[index(node)] != 0;
+    }
+    [[nodiscard]] std::size_t node_count() const { return node_site_id_.size(); }
+    [[nodiscard]] std::size_t link_count() const { return links_.size(); }
     [[nodiscard]] Simulator& simulator() { return simulator_; }
 
     /// Cached multicast delivery trees currently held (tests use this to
@@ -133,12 +159,27 @@ public:
     void set_tree_cache_capacity(std::size_t capacity);
 
     /// Bytes held by the routing tables of the active scheme (flat matrices
-    /// or hierarchical site/backbone tables + path cache).
+    /// or hierarchical site/backbone tables + path cache).  Under lazy
+    /// finalize only materialised rows count.
     [[nodiscard]] std::size_t routing_table_bytes() const;
     /// Entries currently held by the cross-site path cache (0 in flat mode).
     [[nodiscard]] std::size_t path_cache_entries() const { return path_cache_.size(); }
     /// Whether finalize() built the flat matrices (escape hatch active).
     [[nodiscard]] bool flat_routes() const { return built_flat_; }
+    /// The resolved site-table build strategy (config or LBRM_SIM_FINALIZE).
+    [[nodiscard]] SimFinalizeMode finalize_mode() const { return finalize_mode_; }
+    /// Site-table rows currently materialised (== every row after a serial
+    /// or parallel finalize; grows on demand under lazy).
+    [[nodiscard]] std::size_t site_rows_built() const {
+        return rows_built_.load(std::memory_order_relaxed);
+    }
+
+    /// FNV-1a digest of the active routing tables: every site row (dist,
+    /// next hop, link endpoints), border set and backbone entry -- or the
+    /// flat matrices.  Forces lazy rows to materialise first, so equal
+    /// hashes mean bit-identical tables across build modes (the
+    /// serial/parallel/lazy A/B in tests/scale_engine_test.cpp).
+    [[nodiscard]] std::uint64_t routing_table_hash();
 
     /// Observation tap invoked for every packet put on any link (after the
     /// loss/queue decision, with `delivered` telling the outcome).
@@ -159,22 +200,8 @@ public:
     [[nodiscard]] bool batching_enabled() const { return batching_enabled_; }
 
 private:
-    /// "No node index" sentinel for the routing tables.
+    /// "No node index" sentinel for the routing tables and edge arena.
     static constexpr std::uint32_t kNoIndex = 0xFFFFFFFFu;
-
-    /// One directed adjacency edge: target node index and the link there.
-    struct OutEdge {
-        std::uint32_t to;  ///< node index
-        Link* link;
-    };
-
-    struct NodeRec {
-        SiteId site;
-        bool is_router = false;
-        bool down = false;
-        std::unique_ptr<SimHost> host;
-        std::vector<OutEdge> out_links;
-    };
 
     /// A resolved forwarding step: the next node index on the shortest path
     /// and the link that reaches it.  {kNoIndex, nullptr} = unreachable.
@@ -183,16 +210,23 @@ private:
         Link* link = nullptr;
     };
 
+    /// One cell of a per-site routing row: distance, first hop (global node
+    /// index, so descent never translates) and the link reaching it.
+    struct RowCell {
+        std::int64_t dist;
+        std::uint32_t next;
+        Link* link;
+    };
+
     /// Per-site routing table (hierarchical scheme): all-pairs shortest
     /// paths over the site's own subgraph, plus the site's border nodes
-    /// (nodes with at least one inter-site link).  `next` stores global
-    /// node indices so descent never translates back and forth.
+    /// (nodes with at least one inter-site link).  Rows are one slab each,
+    /// so lazy finalize materialises only the rows traffic touches and a
+    /// parallel build writes disjoint pre-sized slots.
     struct SiteTable {
         std::vector<std::uint32_t> nodes;    ///< global node indices, in site order
         std::vector<std::uint32_t> borders;  ///< global node indices, ascending
-        std::vector<std::int64_t> dist;      ///< size*size; kInfDist = unreachable
-        std::vector<std::uint32_t> next;     ///< size*size; kNoIndex = none
-        std::vector<Link*> next_link;        ///< size*size
+        std::vector<std::unique_ptr<RowCell[]>> rows;  ///< size() slots; null = unbuilt
         [[nodiscard]] std::size_t size() const { return nodes.size(); }
     };
 
@@ -245,19 +279,45 @@ private:
     static void dispatch_arrival(DeliveryBase* d, std::uint32_t hop, ArrivalKind kind);
 
     [[nodiscard]] std::size_t index(NodeId id) const { return id.value() - 1; }
-    [[nodiscard]] NodeRec& rec(NodeId id) { return nodes_[index(id)]; }
-    [[nodiscard]] const NodeRec& rec(NodeId id) const { return nodes_[index(id)]; }
+
+    /// Dijkstra scratch shared across row builds (each worker thread and
+    /// the lazy path carry their own instance).
+    struct DijkstraScratch {
+        std::vector<std::int64_t> dist;
+        std::vector<std::uint32_t> first_hop;
+        std::vector<Link*> first_link;
+        std::priority_queue<std::pair<std::int64_t, std::uint32_t>,
+                            std::vector<std::pair<std::int64_t, std::uint32_t>>,
+                            std::greater<>>
+            pq;
+    };
 
     // --- routing ---------------------------------------------------------
+    /// Flatten the edge arena into the CSR adjacency snapshot.  Routing
+    /// reads only the snapshot, so rows built lazily after a post-finalize
+    /// add_link still see the finalize-time adjacency (stale-table
+    /// semantics, identical to the eagerly built matrices).
+    void build_adjacency();
+    [[nodiscard]] Link* find_link(std::uint64_t key) const;
     void build_flat_routes();
     void build_hierarchical_routes();
+    void build_site_rows();
+    /// Build one site-table row (all shortest paths out of local index
+    /// `src_local` within site `site`).  Pure function of the CSR snapshot
+    /// and route_down_; writes only rows[src_local].
+    void build_site_row(std::uint32_t site, std::uint32_t src_local,
+                        DijkstraScratch& scratch);
+    void ensure_row(std::uint32_t site, std::uint32_t local) {
+        if (!site_tables_[site].rows[local]) build_site_row(site, local, scratch_);
+    }
+    void build_backbone();
 
     /// Next forwarding step from node index `from` toward `to`; consults
     /// the flat matrices or the hierarchical tables + path cache.
     [[nodiscard]] Hop hop_toward(std::uint32_t from, std::uint32_t to);
     /// Uncached hierarchical composition: intra-site candidate vs the best
     /// (exit border, entry border) pair through the backbone.
-    [[nodiscard]] Hop compose_hop(std::uint32_t from, std::uint32_t to) const;
+    [[nodiscard]] Hop compose_hop(std::uint32_t from, std::uint32_t to);
     void clear_path_cache();
 
     void track(DeliveryBase* d);
@@ -278,7 +338,7 @@ private:
     void unicast_arrive(UnicastDelivery* d, std::uint32_t at);
 
     [[nodiscard]] std::shared_ptr<const CachedTree> build_tree(
-        NodeId from, const std::set<NodeId>& members, McastScope scope);
+        NodeId from, const std::vector<NodeId>& members, McastScope scope);
     void invalidate_trees_for(GroupId group);
     void invalidate_all_trees();
     void enforce_tree_cache_bound();
@@ -288,9 +348,54 @@ private:
 
     Simulator& simulator_;
     Rng rng_;
-    std::vector<NodeRec> nodes_;
-    std::vector<std::unique_ptr<Link>> links_;  ///< creation order; adjacency points here
-    std::map<GroupId, std::set<NodeId>> groups_;
+
+    // --- nodes (struct-of-arrays; hot fields only) ------------------------
+    std::vector<SiteId> node_site_id_;
+    std::vector<std::uint8_t> node_is_router_;
+    /// Live liveness, consulted at delivery time.  Routing reads the
+    /// route_down_ snapshot instead (see set_node_down).
+    std::vector<std::uint8_t> node_down_;
+
+    // --- adjacency --------------------------------------------------------
+    /// Directed edges as per-node linked lists through one arena, appended
+    /// in add_link order (head/tail per node).  finalize() flattens them
+    /// into the CSR snapshot below; insertion order is preserved because
+    /// Dijkstra's tie-breaking depends on edge relaxation order.
+    struct EdgeCell {
+        std::uint32_t to;    ///< target node index
+        std::uint32_t next;  ///< next cell of the same source; kNoIndex = end
+        Link* link;
+    };
+    std::vector<EdgeCell> edge_cells_;
+    std::vector<std::uint32_t> edge_head_;
+    std::vector<std::uint32_t> edge_tail_;
+    /// CSR snapshot: out-edges of node i are [csr_offset_[i], csr_offset_[i+1]).
+    std::vector<std::uint32_t> csr_offset_;
+    std::vector<std::uint32_t> csr_to_;
+    std::vector<Link*> csr_link_;
+
+    StableVector<Link> links_;  ///< creation order; adjacency points here
+    /// link(a, b) lookup, keyed (from index << 32 | to index).  During
+    /// construction every entry lives in the hash map; finalize() drains it
+    /// into the sorted flat array -- two million directed links cost 32 MB
+    /// there versus ~110 MB as hash nodes -- and links added afterwards
+    /// collect in the (then near-empty) map until the next finalize().
+    std::vector<std::pair<std::uint64_t, Link*>> link_flat_;
+    std::unordered_map<std::uint64_t, Link*> link_index_;
+
+    // --- hosts (cold; sparse side table over a by-value arena) ------------
+    StableVector<SimHost> host_arena_;
+    std::vector<SimHost*> node_host_;
+
+    // --- membership -------------------------------------------------------
+    /// Sorted by group id; members sorted ascending (== the iteration order
+    /// the former std::set gave, so delivery trees are unchanged).
+    struct GroupRec {
+        GroupId id;
+        std::vector<NodeId> members;
+    };
+    std::vector<GroupRec> groups_;
+    [[nodiscard]] GroupRec* find_group(GroupId group);
 
     // --- flat routing (escape hatch) -------------------------------------
     /// routes_[src_index * n + dst_index] = next hop id value (0 = none);
@@ -305,11 +410,12 @@ private:
     std::vector<std::uint32_t> node_local_;  ///< index within the site
     std::vector<std::uint32_t> border_nodes_;  ///< global node index per border
     std::vector<std::uint32_t> node_border_;   ///< border index; kNoIndex = interior
-    /// Border liveness snapshot taken at finalize().  compose_hop consults
-    /// this -- never the live NodeRec::down flags -- so routes stay a pure
-    /// function of the last finalize(), independent of path-cache occupancy
-    /// and identical to the flat matrices' blackhole-until-reconverge
-    /// behaviour.  Live liveness is applied at delivery time instead.
+    /// Liveness snapshot taken at finalize().  Every row build -- eager or
+    /// lazy -- consults this, never the live node_down_ flags, so routes
+    /// stay a pure function of the last finalize() no matter when a row
+    /// materialises.  Live liveness is applied at delivery time instead.
+    std::vector<std::uint8_t> route_down_;
+    /// Border projection of route_down_ (compose_hop's inner loop).
     std::vector<std::uint8_t> border_down_;
     /// Backbone all-pairs tables over the border nodes (B x B): distance,
     /// plus the first *physical* hop (node + link) toward each border --
@@ -317,6 +423,12 @@ private:
     std::vector<std::int64_t> bb_dist_;
     std::vector<std::uint32_t> bb_next_node_;
     std::vector<Link*> bb_next_link_;
+
+    SimFinalizeMode finalize_mode_;
+    unsigned finalize_threads_;
+    /// Materialised-row count (atomic: parallel workers all increment it).
+    std::atomic<std::size_t> rows_built_{0};
+    DijkstraScratch scratch_;  ///< serial + lazy row builds
 
     /// Cross-site next-hop cache: key (from << 32 | to) -> resolved hop,
     /// LRU-bounded by SimConfig::path_cache_capacity (0 = unbounded).

@@ -1,5 +1,6 @@
 #include "sim/scenario.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace lbrm::sim {
@@ -7,10 +8,19 @@ namespace lbrm::sim {
 DisScenario::DisScenario(ScenarioConfig config)
     : config_(std::move(config)), simulator_(),
       network_(simulator_, config_.seed, config_.sim),
+      observer_(config_.observer ? config_.observer
+                                 : std::make_shared<RecordingObserver>()),
+      recorder_(dynamic_cast<RecordingObserver*>(observer_.get())),
       topology_(make_dis_topology(network_, config_.topology)) {
     network_.finalize();
     // Every logger copy made below inherits the stream's sequence anchor.
     config_.logger_defaults.initial_seq = config_.initial_seq;
+
+    const DisTopologySize size = dis_topology_size(config_.topology);
+    hosts_.reserve(size.hosts);
+    receiver_cores_.reserve(static_cast<std::size_t>(config_.topology.sites) *
+                            config_.topology.receivers_per_site);
+    secondary_cores_.reserve(config_.topology.sites);
 
     wire_source();
     if (config_.use_regional_loggers)
@@ -18,6 +28,10 @@ DisScenario::DisScenario(ScenarioConfig config)
             wire_region(topology_.regions[r], r);
     for (std::size_t s = 0; s < topology_.sites.size(); ++s)
         wire_site(topology_.sites[s], s);
+    // Wiring pushes receivers in ascending node order already; sort anyway
+    // so receiver() can binary-search unconditionally.
+    std::sort(receiver_cores_.begin(), receiver_cores_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
 }
 
 void DisScenario::wire_region(const DisTopology::Region& region, std::size_t region_index) {
@@ -36,8 +50,8 @@ void DisScenario::wire_region(const DisTopology::Region& region, std::size_t reg
 
     AppHandlers handlers;
     const NodeId id = region.logger;
-    handlers.on_notice = [this, id](TimePoint at, const Notice& n) {
-        notices_.push_back({id, n.kind, n.arg, at});
+    handlers.on_notice = [obs = observer_.get(), id](TimePoint at, const Notice& n) {
+        obs->on_notice(at, id, n);
     };
     regional_cores_.push_back(&host.protocol().add_logger(
         std::move(logger_config), config_.seed * 433 + region_index, handlers));
@@ -67,8 +81,9 @@ void DisScenario::wire_source() {
     }
 
     AppHandlers sender_handlers;
-    sender_handlers.on_notice = [this](TimePoint at, const Notice& n) {
-        notices_.push_back({topology_.source, n.kind, n.arg, at});
+    sender_handlers.on_notice = [obs = observer_.get(),
+                                 id = topology_.source](TimePoint at, const Notice& n) {
+        obs->on_notice(at, id, n);
     };
     sender_core_ =
         &source_host.protocol().add_sender(std::move(sender_config), sender_handlers);
@@ -87,8 +102,9 @@ void DisScenario::wire_source() {
     primary_config.remulticast_request_threshold = config_.remulticast_request_threshold;
 
     AppHandlers primary_handlers;
-    primary_handlers.on_notice = [this](TimePoint at, const Notice& n) {
-        notices_.push_back({topology_.primary, n.kind, n.arg, at});
+    primary_handlers.on_notice = [obs = observer_.get(),
+                                  id = topology_.primary](TimePoint at, const Notice& n) {
+        obs->on_notice(at, id, n);
     };
     primary_core_ = &primary_host.protocol().add_logger(std::move(primary_config),
                                                         config_.seed * 7919 + 1,
@@ -111,8 +127,9 @@ void DisScenario::wire_source() {
         replica_config.upstream = topology_.primary;
 
         AppHandlers handlers;
-        handlers.on_notice = [this, replica](TimePoint at, const Notice& n) {
-            notices_.push_back({replica, n.kind, n.arg, at});
+        handlers.on_notice = [obs = observer_.get(), replica](TimePoint at,
+                                                              const Notice& n) {
+            obs->on_notice(at, replica, n);
         };
         host.protocol().add_logger(std::move(replica_config), config_.seed * 104729 + salt++,
                                    handlers);
@@ -142,8 +159,8 @@ void DisScenario::wire_site(const DisTopology::Site& site, std::size_t site_inde
 
         AppHandlers handlers;
         const NodeId id = site.secondary;
-        handlers.on_notice = [this, id](TimePoint at, const Notice& n) {
-            notices_.push_back({id, n.kind, n.arg, at});
+        handlers.on_notice = [obs = observer_.get(), id](TimePoint at, const Notice& n) {
+            obs->on_notice(at, id, n);
         };
         secondary_cores_.push_back(&host.protocol().add_logger(
             std::move(logger_config), config_.seed * 31 + site_index, handlers));
@@ -193,14 +210,16 @@ void DisScenario::wire_site(const DisTopology::Site& site, std::size_t site_inde
         if (config_.use_retrans_channel) receiver_config.retrans_channel = retrans_group();
 
         AppHandlers handlers;
-        handlers.on_data = [this, node](TimePoint at, const DeliverData& d) {
-            deliveries_.push_back({node, d.seq, at, d.recovered, d.payload});
+        handlers.on_data = [obs = observer_.get(), node](TimePoint at,
+                                                         const DeliverData& d) {
+            obs->on_delivery(at, node, d);
         };
-        handlers.on_notice = [this, node](TimePoint at, const Notice& n) {
-            notices_.push_back({node, n.kind, n.arg, at});
+        handlers.on_notice = [obs = observer_.get(), node](TimePoint at,
+                                                           const Notice& n) {
+            obs->on_notice(at, node, n);
         };
-        receiver_cores_[node] =
-            &host.protocol().add_receiver(std::move(receiver_config), handlers);
+        receiver_cores_.emplace_back(
+            node, &host.protocol().add_receiver(std::move(receiver_config), handlers));
         network_.join(group, node);
     }
 }
@@ -213,13 +232,14 @@ void DisScenario::start() {
 void DisScenario::send_update(std::vector<std::uint8_t> payload) {
     SimHost* host = network_.host(topology_.source);
     host->protocol().send(simulator_.now(), payload);
-    sends_.push_back({sender().last_seq(), simulator_.now()});
+    observer_->on_send(simulator_.now(), sender().last_seq());
 }
 
 void DisScenario::send_update(std::size_t size) {
     std::vector<std::uint8_t> payload(size);
+    const std::size_t salt = recorder_ != nullptr ? recorder_->sends().size() : 0;
     for (std::size_t i = 0; i < size; ++i)
-        payload[i] = static_cast<std::uint8_t>(i * 31 + sends_.size());
+        payload[i] = static_cast<std::uint8_t>(i * 31 + salt);
     send_update(std::move(payload));
 }
 
@@ -239,35 +259,51 @@ LoggerCore& DisScenario::regional_logger(std::size_t region) {
 }
 
 ReceiverCore& DisScenario::receiver(NodeId node) {
-    auto it = receiver_cores_.find(node);
-    if (it == receiver_cores_.end()) throw std::logic_error("scenario: unknown receiver");
+    const auto it = std::lower_bound(
+        receiver_cores_.begin(), receiver_cores_.end(), node,
+        [](const auto& entry, NodeId id) { return entry.first < id; });
+    if (it == receiver_cores_.end() || it->first != node)
+        throw std::logic_error("scenario: unknown receiver");
     return *it->second;
 }
 
+const RecordingObserver& DisScenario::recorder() const {
+    if (recorder_ == nullptr)
+        throw std::logic_error(
+            "scenario: record accessors need the default RecordingObserver");
+    return *recorder_;
+}
+
+const std::vector<DeliveryRecord>& DisScenario::deliveries() const {
+    return recorder().deliveries();
+}
+
+const std::vector<NoticeRecord>& DisScenario::notices() const {
+    return recorder().notices();
+}
+
+const std::vector<SendRecord>& DisScenario::sends() const { return recorder().sends(); }
+
 std::map<NodeId, TimePoint> DisScenario::delivery_times(SeqNum seq) const {
     std::map<NodeId, TimePoint> out;
-    for (const DeliveryRecord& d : deliveries_)
+    for (const DeliveryRecord& d : recorder().deliveries())
         if (d.seq == seq && !out.contains(d.node)) out.emplace(d.node, d.at);
     return out;
 }
 
 std::optional<TimePoint> DisScenario::sent_at(SeqNum seq) const {
-    for (const SendRecord& s : sends_)
+    for (const SendRecord& s : recorder().sends())
         if (s.seq == seq) return s.at;
     return std::nullopt;
 }
 
 std::size_t DisScenario::notice_count(NoticeKind kind) const {
     std::size_t n = 0;
-    for (const NoticeRecord& r : notices_)
+    for (const NoticeRecord& r : recorder().notices())
         if (r.kind == kind) ++n;
     return n;
 }
 
-void DisScenario::clear_records() {
-    deliveries_.clear();
-    notices_.clear();
-    sends_.clear();
-}
+void DisScenario::clear_records() { observer_->clear(); }
 
 }  // namespace lbrm::sim

@@ -3,17 +3,23 @@
 // DisScenario builds the network, attaches a SenderCore at the source, a
 // primary LoggerCore (plus replicas), one secondary LoggerCore per site and
 // a ReceiverCore per receiver host, joins the right nodes to the right
-// multicast groups, and records every delivery and notice with timestamps.
-// Integration tests, benches and examples all run on top of it.
+// multicast groups, and reports every delivery, notice and send to a
+// pluggable ScenarioObserver (see observer.hpp).  The default observer
+// records full per-event vectors -- what the integration tests and benches
+// introspect -- while scale runs plug in CountingObserver to keep
+// observation at O(1) memory per node.  Integration tests, benches and
+// examples all run on top of it.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "core/config.hpp"
 #include "sim/network.hpp"
+#include "sim/observer.hpp"
 #include "sim/sim_host.hpp"
 #include "sim/simulator.hpp"
 #include "sim/topology.hpp"
@@ -28,6 +34,12 @@ struct ScenarioConfig {
     /// Simulator-substrate knobs (routing scheme, cache bounds).  Purely a
     /// memory/speed trade-off: results are identical for every setting.
     SimConfig sim;
+
+    /// Where scenario events go.  Null = a private RecordingObserver (the
+    /// full-record default every existing test and bench relies on).  Scale
+    /// runs install a CountingObserver; the record accessors below then
+    /// throw, since nothing stores per-event records.
+    std::shared_ptr<ScenarioObserver> observer;
 
     HeartbeatConfig heartbeat;
     StatAckConfig stat_ack;
@@ -109,29 +121,20 @@ public:
     }
 
     // --- recorded observations -------------------------------------------
-    struct DeliveryRecord {
-        NodeId node;
-        SeqNum seq;
-        TimePoint at{};
-        bool recovered = false;
-        std::vector<std::uint8_t> payload;
-    };
-    struct NoticeRecord {
-        NodeId node;
-        NoticeKind kind{};
-        std::uint64_t arg = 0;
-        TimePoint at{};
-    };
-    struct SendRecord {
-        SeqNum seq;
-        TimePoint at{};
-    };
+    // Record types live in observer.hpp; the aliases keep existing
+    // `DisScenario::DeliveryRecord` spellings working.
+    using DeliveryRecord = sim::DeliveryRecord;
+    using NoticeRecord = sim::NoticeRecord;
+    using SendRecord = sim::SendRecord;
 
-    [[nodiscard]] const std::vector<DeliveryRecord>& deliveries() const {
-        return deliveries_;
-    }
-    [[nodiscard]] const std::vector<NoticeRecord>& notices() const { return notices_; }
-    [[nodiscard]] const std::vector<SendRecord>& sends() const { return sends_; }
+    /// The observer events are reported to (default or user-installed).
+    [[nodiscard]] ScenarioObserver& observer() { return *observer_; }
+
+    // Record accessors: require the default RecordingObserver (they throw
+    // std::logic_error under a custom observer -- the records don't exist).
+    [[nodiscard]] const std::vector<DeliveryRecord>& deliveries() const;
+    [[nodiscard]] const std::vector<NoticeRecord>& notices() const;
+    [[nodiscard]] const std::vector<SendRecord>& sends() const;
 
     /// Deliveries of `seq`, keyed by receiver node.
     [[nodiscard]] std::map<NodeId, TimePoint> delivery_times(SeqNum seq) const;
@@ -144,24 +147,24 @@ public:
 private:
     void wire_source();
     void wire_site(const DisTopology::Site& site, std::size_t site_index);
+    void wire_region(const DisTopology::Region& region, std::size_t region_index);
+    [[nodiscard]] const RecordingObserver& recorder() const;
 
     ScenarioConfig config_;
     Simulator simulator_;
     Network network_;
+    std::shared_ptr<ScenarioObserver> observer_;
+    RecordingObserver* recorder_;  ///< observer_ when it records; else null
     DisTopology topology_;
-
-    void wire_region(const DisTopology::Region& region, std::size_t region_index);
 
     SenderCore* sender_core_ = nullptr;
     LoggerCore* primary_core_ = nullptr;
     std::vector<LoggerCore*> secondary_cores_;
     std::vector<LoggerCore*> regional_cores_;
-    std::map<NodeId, ReceiverCore*> receiver_cores_;
+    /// Sorted by node id (wiring order is ascending; sorted once after
+    /// wiring), looked up by binary search.
+    std::vector<std::pair<NodeId, ReceiverCore*>> receiver_cores_;
     std::vector<SimHost*> hosts_;
-
-    std::vector<DeliveryRecord> deliveries_;
-    std::vector<NoticeRecord> notices_;
-    std::vector<SendRecord> sends_;
 };
 
 }  // namespace lbrm::sim

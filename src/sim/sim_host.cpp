@@ -5,11 +5,10 @@
 namespace lbrm::sim {
 
 SimHost::SimHost(Network& network, Simulator& simulator, NodeId self)
-    : network_(network), simulator_(simulator), self_(self),
-      protocol_(std::make_unique<ProtocolHost>(*this, *this)) {}
+    : network_(network), simulator_(simulator), self_(self), protocol_(*this, *this) {}
 
 void SimHost::deliver(TimePoint now, const Packet& packet) {
-    protocol_->on_packet(now, packet);
+    protocol_.on_packet(now, packet);
 }
 
 void SimHost::send_unicast(NodeId to, const Packet& packet) {
@@ -24,25 +23,43 @@ void SimHost::join_group(GroupId group) { network_.join(group, self_); }
 
 void SimHost::leave_group(GroupId group) { network_.leave(group, self_); }
 
+std::size_t SimHost::find_timer(std::uint32_t tag, TimerId id) const {
+    for (std::size_t i = 0; i < timers_.size(); ++i)
+        if (timers_[i].tag == tag && timers_[i].id == id) return i;
+    return timers_.size();
+}
+
+void SimHost::erase_timer(std::uint32_t tag, TimerId id) {
+    const std::size_t i = find_timer(tag, id);
+    if (i == timers_.size()) return;
+    timers_[i] = timers_.back();
+    timers_.pop_back();
+}
+
 void SimHost::arm(std::uint32_t core_tag, TimerId id, TimePoint deadline) {
-    const TimerKey key{core_tag, id};
-    if (auto it = timers_.find(key); it != timers_.end()) {
-        simulator_.cancel(it->second);
-        timers_.erase(it);
+    // Re-arm in place: cancel the old event first, then schedule -- the
+    // same Simulator call order the previous map-based table used, so event
+    // ids (and hence tiebreak order) are unchanged.
+    const std::size_t i = find_timer(core_tag, id);
+    if (i != timers_.size()) {
+        simulator_.cancel(timers_[i].event);
+        timers_[i] = timers_.back();
+        timers_.pop_back();
     }
-    const std::uint64_t event = simulator_.schedule_at(deadline, [this, key] {
-        timers_.erase(key);
-        protocol_->on_timer(simulator_.now(), key.tag, key.id);
-    });
-    timers_.emplace(key, event);
+    const std::uint64_t event =
+        simulator_.schedule_at(deadline, [this, core_tag, id] {
+            erase_timer(core_tag, id);
+            protocol_.on_timer(simulator_.now(), core_tag, id);
+        });
+    timers_.push_back(TimerEnt{core_tag, id, event});
 }
 
 void SimHost::cancel(std::uint32_t core_tag, TimerId id) {
-    const TimerKey key{core_tag, id};
-    if (auto it = timers_.find(key); it != timers_.end()) {
-        simulator_.cancel(it->second);
-        timers_.erase(it);
-    }
+    const std::size_t i = find_timer(core_tag, id);
+    if (i == timers_.size()) return;
+    simulator_.cancel(timers_[i].event);
+    timers_[i] = timers_.back();
+    timers_.pop_back();
 }
 
 }  // namespace lbrm::sim

@@ -1,12 +1,15 @@
 // SimHost: one protocol endpoint living inside the simulated network.
 //
 // Implements the driver services (NetworkService via Network transport,
-// TimerService via the Simulator's event queue with generation-counted
-// re-arm/cancel) and owns the ProtocolHost carrying the actual cores.
+// TimerService via the Simulator's event queue) and owns the ProtocolHost
+// carrying the actual cores -- by value: a host is one arena slot, not a
+// chain of heap nodes (DESIGN.md "Scale engineering").  Armed timers live
+// in a small flat table instead of a std::map: a host arms a handful of
+// timers (heartbeat, ack, retransmit...), so linear scans beat tree nodes
+// on both memory and locality at million-host scale.
 #pragma once
 
-#include <map>
-#include <memory>
+#include <vector>
 
 #include "runtime/protocol_host.hpp"
 #include "runtime/services.hpp"
@@ -24,7 +27,7 @@ public:
     SimHost& operator=(const SimHost&) = delete;
 
     [[nodiscard]] NodeId id() const { return self_; }
-    [[nodiscard]] ProtocolHost& protocol() { return *protocol_; }
+    [[nodiscard]] ProtocolHost& protocol() { return protocol_; }
 
     /// Network -> host delivery (called by Network at arrival time).
     void deliver(TimePoint now, const Packet& packet);
@@ -40,21 +43,21 @@ public:
     void cancel(std::uint32_t core_tag, TimerId id) override;
 
 private:
-    struct TimerKey {
+    /// One armed timer: (core tag, timer id) -> event-queue id.
+    struct TimerEnt {
         std::uint32_t tag;
         TimerId id;
-        friend bool operator<(const TimerKey& a, const TimerKey& b) {
-            if (a.tag != b.tag) return a.tag < b.tag;
-            return a.id < b.id;
-        }
+        std::uint64_t event;
     };
+    [[nodiscard]] std::size_t find_timer(std::uint32_t tag, TimerId id) const;
+    void erase_timer(std::uint32_t tag, TimerId id);
 
     Network& network_;
     Simulator& simulator_;
     NodeId self_;
-    std::unique_ptr<ProtocolHost> protocol_;
-    /// Armed timers -> event-queue id (for cancellation/re-arm).
-    std::map<TimerKey, std::uint64_t> timers_;
+    ProtocolHost protocol_;
+    /// Armed timers, unordered; erased by swap-with-back.
+    std::vector<TimerEnt> timers_;
 };
 
 }  // namespace lbrm::sim

@@ -16,21 +16,36 @@ const DisTopology::Region* DisTopology::region_of_site(std::size_t site_index) c
     return nullptr;
 }
 
-DisTopology make_dis_topology(Network& network, const DisTopologySpec& spec) {
-    DisTopology topo;
-
-    // Pre-size node and link storage (every node below adds exactly one
-    // cable = two directed links), so 100k-node benches do not pay vector
-    // regrowth during construction.
+DisTopologySize dis_topology_size(const DisTopologySpec& spec) {
     const std::size_t region_count =
         spec.sites_per_region > 0
             ? (spec.sites + spec.sites_per_region - 1) / spec.sites_per_region
             : 0;
-    const std::size_t node_count =
-        3 + spec.replicas + 2 * region_count +
-        static_cast<std::size_t>(spec.sites) *
-            (1 + (spec.secondary_logger_per_site ? 1 : 0) + spec.receivers_per_site);
-    network.reserve(node_count, 2 * (node_count - 1));
+    const std::size_t secondaries = spec.secondary_logger_per_site ? 1 : 0;
+    DisTopologySize size;
+    // backbone + source router + source + primary, replicas, region
+    // router + logger pairs, then per site: router + secondary? + receivers.
+    size.nodes = 3 + spec.replicas + 2 * region_count +
+                 static_cast<std::size_t>(spec.sites) *
+                     (1 + secondaries + spec.receivers_per_site);
+    // Every node except the backbone hub adds exactly one cable.
+    size.directed_links = 2 * (size.nodes - 1);
+    // Endpoints the scenario may attach: source + primary, replicas,
+    // regional loggers, site secondaries and receivers (routers and the
+    // hub carry no protocol host).
+    size.hosts = 2 + spec.replicas + region_count +
+                 static_cast<std::size_t>(spec.sites) *
+                     (secondaries + spec.receivers_per_site);
+    return size;
+}
+
+DisTopology make_dis_topology(Network& network, const DisTopologySpec& spec) {
+    DisTopology topo;
+
+    // Pre-size node and link storage so 100k-node benches do not pay
+    // vector regrowth during construction.
+    const DisTopologySize size = dis_topology_size(spec);
+    network.reserve(size.nodes, size.directed_links);
 
     const LinkSpec lan{spec.lan_delay, spec.lan_bandwidth_bps, Duration::zero()};
     const LinkSpec tail{spec.tail_delay, spec.tail_bandwidth_bps, spec.tail_queue_limit};

@@ -77,6 +77,16 @@ struct DisTopology {
     [[nodiscard]] std::vector<NodeId> all_receivers() const;
 };
 
+/// Exact sizes of the topology a spec will build, computed without building
+/// it -- Network::reserve and DisScenario pre-size their storage from this,
+/// so million-node construction never pays vector regrowth.
+struct DisTopologySize {
+    std::size_t nodes = 0;
+    std::size_t directed_links = 0;  ///< two per cable
+    std::size_t hosts = 0;  ///< protocol endpoints DisScenario may attach
+};
+[[nodiscard]] DisTopologySize dis_topology_size(const DisTopologySpec& spec);
+
 /// Build the Figure-1 topology into `network`.  Call network.finalize()
 /// afterwards (the builder leaves that to the caller so extra links can be
 /// added first).

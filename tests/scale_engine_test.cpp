@@ -1,0 +1,379 @@
+// Scale-engine tests (DESIGN.md "Scale engineering"): the struct-of-arrays
+// node store, the serial/parallel/lazy finalize modes and the pluggable
+// scenario observer must all be invisible to results -- every mode and every
+// observer produces bit-identical routing tables and protocol traces.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stable_vector.hpp"
+#include "sim/loss_model.hpp"
+#include "sim/network.hpp"
+#include "sim/observer.hpp"
+#include "sim/scenario.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+using namespace lbrm;
+using namespace lbrm::sim;
+
+// --- StableVector ------------------------------------------------------------
+
+TEST(StableVector, ReferencesSurviveGrowth) {
+    StableVector<int> v;
+    std::vector<int*> addrs;
+    for (int i = 0; i < 1000; ++i) addrs.push_back(&v.emplace_back(i));
+    ASSERT_EQ(v.size(), 1000u);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(*addrs[i], i);          // no element ever moved
+        EXPECT_EQ(&v[static_cast<std::size_t>(i)], addrs[i]);
+    }
+}
+
+TEST(StableVector, HoldsNonMovableElements) {
+    struct Pinned {
+        explicit Pinned(int x) : value(x) {}
+        Pinned(const Pinned&) = delete;
+        Pinned& operator=(const Pinned&) = delete;
+        int value;
+    };
+    StableVector<Pinned> v;
+    for (int i = 0; i < 100; ++i) v.emplace_back(i);
+    int sum = 0;
+    for (const Pinned& p : v) sum += p.value;
+    EXPECT_EQ(sum, 99 * 100 / 2);
+}
+
+TEST(StableVector, ClearDestroysEveryElement) {
+    static int live = 0;
+    struct Counted {
+        Counted() { ++live; }
+        ~Counted() { --live; }
+    };
+    {
+        StableVector<Counted> v;
+        for (int i = 0; i < 37; ++i) v.emplace_back();
+        EXPECT_EQ(live, 37);
+        v.clear();
+        EXPECT_EQ(live, 0);
+        for (int i = 0; i < 5; ++i) v.emplace_back();  // reusable after clear
+        EXPECT_EQ(live, 5);
+    }
+    EXPECT_EQ(live, 0);  // destructor path too
+}
+
+// --- link() fast path --------------------------------------------------------
+
+TEST(NetworkLink, MissingSelfAndOutOfRangePairsReturnNull) {
+    Simulator sim;
+    Network net{sim, 1};
+    const NodeId a = net.add_node(SiteId{1});
+    const NodeId b = net.add_node(SiteId{1});
+    const NodeId c = net.add_node(SiteId{2});
+    net.add_link(a, b, LinkSpec{});
+
+    EXPECT_NE(net.link(a, b), nullptr);
+    EXPECT_NE(net.link(b, a), nullptr);
+    EXPECT_NE(net.link(a, b), net.link(b, a));  // two directed links
+    EXPECT_EQ(net.link(a, c), nullptr);         // no such cable
+    EXPECT_EQ(net.link(a, a), nullptr);         // self pair
+    EXPECT_EQ(net.link(a, NodeId{999}), nullptr);  // out of range
+    EXPECT_EQ(net.link(NodeId{999}, a), nullptr);
+}
+
+TEST(NetworkLink, SiteAndRouterFlagsSurviveSoAStorage) {
+    Simulator sim;
+    Network net{sim, 1};
+    const NodeId host = net.add_node(SiteId{7});
+    const NodeId router = net.add_node(SiteId{7}, /*is_router=*/true);
+    EXPECT_EQ(net.site_of(host), SiteId{7});
+    EXPECT_FALSE(net.is_router(host));
+    EXPECT_TRUE(net.is_router(router));
+    EXPECT_EQ(net.node_count(), 2u);
+    net.add_link(host, router, LinkSpec{});
+    EXPECT_EQ(net.link_count(), 2u);  // one cable = two directed links
+}
+
+// --- finalize-mode determinism ----------------------------------------------
+
+std::uint64_t table_hash(SimFinalizeMode mode, unsigned threads,
+                         std::uint32_t sites_per_region = 0) {
+    Simulator sim;
+    SimConfig config;
+    config.finalize_mode = mode;
+    config.finalize_threads = threads;
+    Network net{sim, 5, config};
+    DisTopologySpec spec;
+    spec.sites = 12;
+    spec.receivers_per_site = 6;
+    spec.sites_per_region = sites_per_region;
+    make_dis_topology(net, spec);
+    net.finalize();
+    EXPECT_EQ(net.finalize_mode(), mode);
+    return net.routing_table_hash();
+}
+
+TEST(FinalizeModes, TableHashIdenticalAcrossSerialParallelLazy) {
+    const std::uint64_t serial = table_hash(SimFinalizeMode::kSerial, 0);
+    EXPECT_EQ(serial, table_hash(SimFinalizeMode::kParallel, 1));
+    EXPECT_EQ(serial, table_hash(SimFinalizeMode::kParallel, 2));
+    EXPECT_EQ(serial, table_hash(SimFinalizeMode::kParallel, 8));
+    EXPECT_EQ(serial, table_hash(SimFinalizeMode::kLazy, 0));
+}
+
+TEST(FinalizeModes, TableHashIdenticalWithRegionalTier) {
+    const std::uint64_t serial = table_hash(SimFinalizeMode::kSerial, 0, 3);
+    EXPECT_EQ(serial, table_hash(SimFinalizeMode::kParallel, 8, 3));
+    EXPECT_EQ(serial, table_hash(SimFinalizeMode::kLazy, 0, 3));
+}
+
+TEST(FinalizeModes, LazyMaterialisesRowsOnDemand) {
+    Simulator sim;
+    SimConfig config;
+    config.finalize_mode = SimFinalizeMode::kLazy;
+    Network net{sim, 5, config};
+    DisTopologySpec spec;
+    spec.sites = 8;
+    spec.receivers_per_site = 10;
+    const DisTopology topo = make_dis_topology(net, spec);
+    net.finalize();
+
+    // Only border rows were built eagerly (one per site router here).
+    const std::size_t after_finalize = net.site_rows_built();
+    EXPECT_GT(after_finalize, 0u);
+    EXPECT_LT(after_finalize, net.node_count());
+
+    // Traffic touches rows; the count grows but only where needed.
+    const GroupId group{1};
+    for (NodeId r : topo.all_receivers()) net.join(group, r);
+    net.multicast(topo.source,
+                  Packet{Header{group, topo.source, topo.source},
+                         DataBody{SeqNum{1}, EpochId{0}, {1}}},
+                  McastScope::kGlobal);
+    sim.run_for(secs(1.0));
+    EXPECT_GT(net.site_rows_built(), after_finalize);
+
+    // Hashing forces the rest; a serial build of the same topology ends at
+    // the same row count and the same bytes.
+    (void)net.routing_table_hash();
+    Simulator sim2;
+    Network serial_net{sim2, 5};
+    make_dis_topology(serial_net, spec);
+    serial_net.finalize();
+    EXPECT_EQ(net.site_rows_built(), serial_net.site_rows_built());
+}
+
+// --- finalize-mode full-protocol trace A/B -----------------------------------
+
+struct ScenarioFingerprint {
+    std::vector<std::string> deliveries;
+    std::vector<std::string> notices;
+    std::uint64_t events_processed = 0;
+
+    bool operator==(const ScenarioFingerprint&) const = default;
+};
+
+ScenarioFingerprint run_scenario(SimFinalizeMode mode, unsigned threads) {
+    ScenarioConfig config;
+    config.topology.sites = 20;
+    config.topology.receivers_per_site = 5;
+    config.sim.finalize_mode = mode;
+    config.sim.finalize_threads = threads;
+    config.seed = 99;
+    DisScenario scenario(config);
+
+    // Loss on two tails so the whole recovery machinery (NACKs, repairs,
+    // heartbeats, stat-acks) runs and its RNG draws enter the fingerprint.
+    scenario.network().set_loss(scenario.topology().backbone,
+                                scenario.topology().sites[4].router,
+                                std::make_unique<BernoulliLoss>(0.3));
+    scenario.network().set_loss(scenario.topology().backbone,
+                                scenario.topology().sites[11].router,
+                                std::make_unique<BernoulliLoss>(0.3));
+
+    scenario.start();
+    for (int i = 0; i < 20; ++i) {
+        scenario.send_update(128);
+        scenario.run_for(millis(37));
+    }
+    scenario.run_for(secs(10.0));
+
+    ScenarioFingerprint fp;
+    for (const auto& d : scenario.deliveries())
+        fp.deliveries.push_back(std::to_string(d.node.value()) + ":" +
+                                std::to_string(d.seq.value()) + "@" +
+                                std::to_string(d.at.time_since_epoch().count()) +
+                                (d.recovered ? "r" : ""));
+    for (const auto& n : scenario.notices())
+        fp.notices.push_back(std::to_string(n.node.value()) + ":" +
+                             std::to_string(static_cast<int>(n.kind)) + ":" +
+                             std::to_string(n.arg) + "@" +
+                             std::to_string(n.at.time_since_epoch().count()));
+    fp.events_processed = scenario.simulator().events_processed();
+    return fp;
+}
+
+TEST(FinalizeModes, TwentySiteScenarioBitIdenticalAcrossModes) {
+    const ScenarioFingerprint serial = run_scenario(SimFinalizeMode::kSerial, 0);
+    const ScenarioFingerprint parallel = run_scenario(SimFinalizeMode::kParallel, 8);
+    const ScenarioFingerprint lazy = run_scenario(SimFinalizeMode::kLazy, 0);
+    ASSERT_GT(serial.deliveries.size(), 0u);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(serial, lazy);
+}
+
+// --- lazy rows vs mid-run liveness/topology changes --------------------------
+
+/// Mid-run set_node_down must not leak into rows built lazily afterwards:
+/// they read the finalize-time snapshot, so serial and lazy traces agree
+/// even when a row materialises after the down transition.
+struct TapEvent {
+    std::int64_t at_ns;
+    std::uint32_t from;
+    std::uint32_t to;
+    bool delivered;
+    bool operator==(const TapEvent&) const = default;
+};
+
+std::vector<TapEvent> run_down_then_touch(SimFinalizeMode mode,
+                                          std::size_t path_cache_cap) {
+    Simulator sim;
+    SimConfig config;
+    config.finalize_mode = mode;
+    config.path_cache_capacity = path_cache_cap;
+    Network net{sim, 7, config};
+    // Two sites, two corridors; c_host sits in a third site whose rows are
+    // only touched after the down transition.
+    const NodeId a_host = net.add_node(SiteId{1});
+    const NodeId a_r1 = net.add_node(SiteId{1}, true);
+    const NodeId a_r2 = net.add_node(SiteId{1}, true);
+    const NodeId b_host = net.add_node(SiteId{2});
+    const NodeId b_r1 = net.add_node(SiteId{2}, true);
+    const NodeId b_r2 = net.add_node(SiteId{2}, true);
+    const NodeId c_host = net.add_node(SiteId{3});
+    const NodeId c_r = net.add_node(SiteId{3}, true);
+    const LinkSpec fast{millis(1), 0.0, Duration::zero()};
+    const LinkSpec slow{millis(3), 0.0, Duration::zero()};
+    net.add_link(a_host, a_r1, fast);
+    net.add_link(a_host, a_r2, fast);
+    net.add_link(b_host, b_r1, fast);
+    net.add_link(b_host, b_r2, fast);
+    net.add_link(a_r1, b_r1, fast);  // preferred corridor
+    net.add_link(a_r2, b_r2, slow);  // detour corridor
+    net.add_link(c_host, c_r, fast);
+    net.add_link(c_r, b_r1, slow);
+    net.add_link(c_r, a_r1, slow);
+    net.finalize();
+
+    std::vector<TapEvent> taps;
+    net.set_tap([&taps](TimePoint t, const Link& link, const Packet&, bool delivered) {
+        taps.push_back(TapEvent{t.time_since_epoch().count(), link.from().value(),
+                                link.to().value(), delivered});
+    });
+
+    const GroupId group{1};
+    net.join(group, b_host);
+    auto send = [&](NodeId from, std::uint32_t seq) {
+        net.multicast(from,
+                      Packet{Header{group, a_host, from},
+                             DataBody{SeqNum{seq}, EpochId{0}, {9}}},
+                      McastScope::kGlobal);
+        sim.run_for(secs(1.0));
+    };
+    send(a_host, 1);  // builds a's rows (lazy) and primes the path cache
+
+    net.set_node_down(a_r1, true);
+    // c's rows have never been touched: under lazy they are built *now*,
+    // after the down transition -- and must still route via a_r1/b_r1
+    // exactly like the serial tables built at finalize().
+    net.unicast(c_host, b_host,
+                Packet{Header{group, a_host, c_host}, PrimaryQueryBody{}});
+    sim.run_for(secs(1.0));
+    send(a_host, 2);  // still into the blackhole
+
+    net.finalize();  // reconverge
+    send(a_host, 3);
+    net.unicast(c_host, b_host,
+                Packet{Header{group, a_host, c_host}, PrimaryQueryBody{}});
+    sim.run_for(secs(1.0));
+    return taps;
+}
+
+TEST(FinalizeModes, LazyRowsUseFinalizeTimeLivenessSnapshot) {
+    const auto serial = run_down_then_touch(SimFinalizeMode::kSerial, 65536);
+    const auto lazy = run_down_then_touch(SimFinalizeMode::kLazy, 65536);
+    ASSERT_EQ(serial.size(), lazy.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        ASSERT_TRUE(serial[i] == lazy[i]) << "trace diverges at event " << i;
+}
+
+TEST(FinalizeModes, PathCacheCapacityNeverChangesLazyOutcomes) {
+    const auto unbounded = run_down_then_touch(SimFinalizeMode::kLazy, 0);
+    const auto tiny = run_down_then_touch(SimFinalizeMode::kLazy, 1);
+    EXPECT_EQ(unbounded, tiny);
+}
+
+// --- observer A/B ------------------------------------------------------------
+
+ScenarioConfig observer_scenario_config(std::shared_ptr<ScenarioObserver> observer) {
+    ScenarioConfig config;
+    config.topology.sites = 6;
+    config.topology.receivers_per_site = 4;
+    config.seed = 77;
+    config.observer = std::move(observer);
+    return config;
+}
+
+TEST(Observers, CountingMatchesRecordingAndLeavesSimBitIdentical) {
+    auto counting = std::make_shared<CountingObserver>();
+
+    DisScenario recorded{observer_scenario_config(nullptr)};  // default recorder
+    DisScenario counted{observer_scenario_config(counting)};
+
+    for (DisScenario* s : {&recorded, &counted}) {
+        s->start();
+        for (int i = 0; i < 5; ++i) {
+            s->send_update(std::vector<std::uint8_t>{1, 2, 3, 4});
+            s->run_for(millis(40));
+        }
+        s->run_for(secs(5.0));
+    }
+
+    // The observer must not perturb the simulation itself.
+    EXPECT_EQ(recorded.simulator().events_processed(),
+              counted.simulator().events_processed());
+
+    // Tallies agree with the full records.
+    EXPECT_EQ(counting->deliveries(), recorded.deliveries().size());
+    EXPECT_EQ(counting->notices(), recorded.notices().size());
+    EXPECT_EQ(counting->sends(), recorded.sends().size());
+    ASSERT_GT(counting->deliveries(), 0u);
+
+    std::uint64_t recorded_bytes = 0;
+    for (const auto& d : recorded.deliveries()) recorded_bytes += d.payload.size();
+    EXPECT_EQ(counting->payload_bytes(), recorded_bytes);
+
+    for (const auto& site : recorded.topology().sites)
+        for (NodeId r : site.receivers) {
+            std::uint32_t expect = 0;
+            for (const auto& d : recorded.deliveries())
+                if (d.node == r) ++expect;
+            EXPECT_EQ(counting->deliveries_at(r), expect);
+        }
+
+    // Record accessors require the recording observer.
+    EXPECT_THROW((void)counted.deliveries(), std::logic_error);
+    EXPECT_THROW((void)counted.notices(), std::logic_error);
+    EXPECT_THROW((void)counted.sends(), std::logic_error);
+    (void)counted.observer();  // the observer itself is always reachable
+
+    // clear() resets tallies.
+    counted.clear_records();
+    EXPECT_EQ(counting->deliveries(), 0u);
+    EXPECT_EQ(counting->nodes_with_at_least(1), 0u);
+}
+
+}  // namespace
