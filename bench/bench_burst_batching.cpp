@@ -50,6 +50,7 @@ struct RunStats {
     std::uint64_t tree_builds = 0;       ///< delivery-tree constructions
     double tree_build_seconds = 0.0;     ///< wall time spent building trees
     std::size_t tree_cache_bytes = 0;    ///< tree-cache heap at end of run
+    Network::DropBreakdown drops;        ///< queue-overflow vs random-loss drops
 
     [[nodiscard]] double delivered_pps() const {
         return static_cast<double>(delivered) / wall_seconds;
@@ -118,6 +119,7 @@ RunStats run_burst(bool batching, std::uint64_t bursts, std::uint64_t burst_size
     out.delivered = delivered_data(net, topo);
     out.heap_schedules = simulator.events_scheduled();
     out.events = simulator.events_processed();
+    out.drops = net.drop_breakdown();
     return out;
 }
 
@@ -163,6 +165,7 @@ RunStats run_multi_group(bool batching, std::uint64_t groups, std::uint64_t roun
     out.tree_builds = net.tree_builds();
     out.tree_build_seconds = net.tree_build_seconds();
     out.tree_cache_bytes = net.tree_cache_bytes();
+    out.drops = net.drop_breakdown();
     return out;
 }
 
@@ -195,6 +198,14 @@ void report(const std::string& name, const RunStats& on, const RunStats& off,
          "x; heap schedules per delivered packet: " +
          fmt(on.schedules_per_delivered(), 3) + " vs " +
          fmt(off.schedules_per_delivered(), 3));
+    // Both modes must drop the identical packet set (here: nothing -- queues
+    // are unlimited).  The breakdown separates queue overflow from random
+    // loss so a nonzero total is attributable at a glance.
+    note("drops: batched queue=" + fmt_int(on.drops.queue) + " loss=" +
+         fmt_int(on.drops.loss) + "; unbatched queue=" + fmt_int(off.drops.queue) +
+         " loss=" + fmt_int(off.drops.loss));
+    if (on.drops.total() != off.drops.total())
+        note("WARNING: batched and unbatched drop totals differ");
 
     metrics.push_back({name, "delivered_pps_batched", on.delivered_pps(), timestamp});
     metrics.push_back({name, "delivered_pps_unbatched", off.delivered_pps(), timestamp});

@@ -31,8 +31,15 @@
 //                     build/traffic seconds, deliveries, peak RSS and
 //                     RSS bytes per node.
 //
+// The headline finalize additionally runs under a TraceRecorder and exports
+// Chrome trace_event JSON (--trace PATH, open in chrome://tracing or
+// Perfetto).  The bench computes span coverage -- the fraction of the
+// outermost "finalize" span accounted for by its phase children
+// (finalize.prep + finalize.routes) -- and fails if it drops below 90%,
+// so the trace stays an honest breakdown rather than decoration.
+//
 // Usage:
-//   bench_routing_scale [--json PATH] [--timestamp ISO8601]
+//   bench_routing_scale [--json PATH] [--timestamp ISO8601] [--trace PATH]
 //                       [--sites N] [--receivers N]
 //                       [--ab-sites N] [--ab-receivers N]
 //                       [--full-sites N] [--full-receivers N] [--skip-full]
@@ -43,6 +50,7 @@
 #include <string>
 
 #include "bench/bench_util.hpp"
+#include "obs/trace.hpp"
 #include "sim/network.hpp"
 #include "sim/scenario.hpp"
 #include "sim/topology.hpp"
@@ -150,11 +158,35 @@ std::uint64_t mode_hash(SimFinalizeMode mode, unsigned threads, std::uint32_t si
     return net.routing_table_hash();
 }
 
+/// Fraction of the outermost "finalize" span covered by its direct phase
+/// children (finalize.prep + finalize.routes).  Those two partition the
+/// finalize body, so anything below ~1.0 is unattributed finalize time.
+double finalize_span_coverage(const obs::TraceRecorder& rec) {
+    const auto spans = rec.spans();
+    const obs::TraceRecorder::Span* finalize = nullptr;
+    for (const auto& s : spans)
+        if (std::strcmp(s.name, "finalize") == 0 &&
+            (finalize == nullptr || s.dur_ns > finalize->dur_ns))
+            finalize = &s;
+    if (finalize == nullptr || finalize->dur_ns == 0) return 0.0;
+    const std::uint64_t end = finalize->start_ns + finalize->dur_ns;
+    std::uint64_t covered = 0;
+    for (const auto& s : spans) {
+        if (std::strcmp(s.name, "finalize.prep") != 0 &&
+            std::strcmp(s.name, "finalize.routes") != 0)
+            continue;
+        if (s.start_ns < finalize->start_ns || s.start_ns + s.dur_ns > end) continue;
+        covered += s.dur_ns;
+    }
+    return static_cast<double>(covered) / static_cast<double>(finalize->dur_ns);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::string json_path = "BENCH_simcore.json";
     std::string timestamp = "unspecified";
+    std::string trace_path = "TRACE_finalize.json";
     std::uint32_t sites = 1000;
     std::uint32_t receivers = 97;  // 1000 x (router + secondary + 97) + 5 = ~99k
     std::uint32_t ab_sites = 100;
@@ -178,6 +210,7 @@ int main(int argc, char** argv) {
         };
         if (std::strcmp(argv[i], "--json") == 0) json_path = next("--json");
         else if (std::strcmp(argv[i], "--timestamp") == 0) timestamp = next("--timestamp");
+        else if (std::strcmp(argv[i], "--trace") == 0) trace_path = next("--trace");
         else if (std::strcmp(argv[i], "--sites") == 0)
             sites = static_cast<std::uint32_t>(std::atoi(next("--sites")));
         else if (std::strcmp(argv[i], "--receivers") == 0)
@@ -204,8 +237,11 @@ int main(int argc, char** argv) {
 
     title("Hierarchical routing at scale: " + fmt_int(sites) + " sites x " +
           fmt_int(receivers) + " receivers");
+    obs::TraceRecorder trace_rec;
+    trace_rec.install();
     const BuildStats big = run_build(/*flat=*/false, sites, receivers,
                                      /*send_traffic=*/true);
+    trace_rec.uninstall();
     // The flat matrices would hold n^2 next-hop entries (4B) + n^2 link
     // pointers (8B); computed analytically because at 100k nodes that is
     // ~120 GB and cannot be allocated.
@@ -238,6 +274,23 @@ int main(int argc, char** argv) {
     metrics.push_back({"routing_scale", "flat_to_hier_memory_ratio", ratio, timestamp});
     metrics.push_back({"routing_scale", "peak_rss_bytes",
                        static_cast<double>(peak_rss_bytes()), timestamp});
+
+    if (obs::kTelemetryEnabled) {
+        const double coverage = finalize_span_coverage(trace_rec);
+        const bool wrote = trace_rec.write_chrome_json(trace_path);
+        note("finalize trace: " + fmt_int(trace_rec.spans().size()) + " spans (" +
+             fmt_int(trace_rec.dropped()) + " dropped), phase coverage " +
+             fmt(100.0 * coverage, 1) + "%" +
+             (wrote ? ", written to " + trace_path : " (trace write FAILED)"));
+        metrics.push_back(
+            {"routing_scale", "finalize_trace_coverage", coverage, timestamp});
+        if (coverage < 0.90) {
+            note("ERROR: finalize phase spans cover < 90% of finalize wall time");
+            return 1;
+        }
+    } else {
+        note("finalize trace: telemetry compiled out (LBRM_NO_TELEMETRY); skipped");
+    }
 
     title("Finalize modes: serial vs parallel vs lazy at " + fmt_int(mode_sites) +
           " sites x " + fmt_int(mode_receivers) + " receivers");

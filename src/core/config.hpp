@@ -3,12 +3,17 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "common/seqnum.hpp"
 #include "common/time.hpp"
 #include "core/flow_control.hpp"
+
+namespace lbrm::obs {
+class Metrics;
+}
 
 namespace lbrm {
 
@@ -53,6 +58,12 @@ struct SimConfig {
 
     /// Worker-pool width for kParallel; 0 = std::thread::hardware_concurrency.
     unsigned finalize_threads = 0;
+
+    /// Telemetry registry shared with the network (obs/metrics.hpp).  Null =
+    /// the Network creates a private one; pass a registry to share it across
+    /// networks or to read it after the network is gone.  Telemetry is
+    /// observation-only and never alters simulation behaviour.
+    std::shared_ptr<obs::Metrics> metrics;
 };
 
 /// Variable-heartbeat parameters (Section 2.1).  The defaults are the

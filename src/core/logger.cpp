@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace lbrm {
 
 LoggerCore::LoggerCore(LoggerConfig config, std::uint64_t rng_seed)
@@ -163,6 +165,7 @@ void LoggerCore::ingest(TimePoint now, SeqNum seq, EpochId epoch,
     // an epoch we volunteered for, whether it arrived live or via recovery.
     if (fresh && designated_epochs_.contains(epoch)) {
         ++acks_sent_;
+        obs_->acks_sent->inc();
         actions.push_back(SendUnicast{config_.source, make_packet(AckBody{epoch, seq})});
     }
 
@@ -179,6 +182,7 @@ void LoggerCore::ingest(TimePoint now, SeqNum seq, EpochId epoch,
                 // likely did; one site-scoped re-multicast repairs everyone
                 // (Section 2.2.1).
                 ++served_multicast_;
+                obs_->served_multicast->inc();
                 actions.push_back(SendMulticast{
                     make_packet(RetransmissionBody{entry->seq, entry->epoch, true,
                                                    entry->payload}),
@@ -187,6 +191,7 @@ void LoggerCore::ingest(TimePoint now, SeqNum seq, EpochId epoch,
             } else {
                 for (NodeId r : requesters) {
                     ++served_unicast_;
+                    obs_->served_unicast->inc();
                     actions.push_back(SendUnicast{
                         r, make_packet(RetransmissionBody{entry->seq, entry->epoch, false,
                                                           entry->payload})});
@@ -207,6 +212,8 @@ void LoggerCore::advance_contiguous() {
 void LoggerCore::serve_nack(TimePoint now, NodeId from, const NackBody& nack,
                             Actions& actions) {
     ++nacks_received_;
+    obs_->nacks_received->inc();
+    LBRM_TRACE_SPAN("log_recover");
     for (SeqNum seq : nack.missing) serve_one(now, from, seq, actions);
 }
 
@@ -240,6 +247,7 @@ void LoggerCore::serve_one(TimePoint now, NodeId from, SeqNum seq, Actions& acti
         // Enough losers in one window: one scoped multicast beats N unicasts.
         window.multicast_served = true;
         ++served_multicast_;
+        obs_->served_multicast->inc();
         const McastScope scope = role_ == LoggerRole::kSecondary ? McastScope::kSite
                                                                  : McastScope::kGlobal;
         actions.push_back(SendMulticast{
@@ -249,6 +257,7 @@ void LoggerCore::serve_one(TimePoint now, NodeId from, SeqNum seq, Actions& acti
         actions.push_back(Notice{NoticeKind::kRemulticast, seq.value()});
     } else {
         ++served_unicast_;
+        obs_->served_unicast->inc();
         actions.push_back(SendUnicast{
             from, make_packet(RetransmissionBody{entry->seq, entry->epoch, false,
                                                  entry->payload})});
@@ -296,6 +305,7 @@ Actions LoggerCore::fire_fetch(TimePoint now) {
     if (config_.upstream == kNoNode) return actions;
     if (!nack.missing.empty()) {
         ++upstream_fetches_;
+        obs_->upstream_fetches->inc();
         actions.push_back(SendUnicast{config_.upstream, make_packet(std::move(nack))});
     }
     if (!fetch_pending_.empty())

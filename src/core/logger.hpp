@@ -52,7 +52,16 @@ public:
     [[nodiscard]] std::uint64_t upstream_fetches() const { return upstream_fetches_; }
     [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
     [[nodiscard]] std::uint64_t nacks_received() const { return nacks_received_; }
+    /// Stream-gap detector (secondary role): exposes gap_overflows() etc.
+    [[nodiscard]] const LossDetector& detector() const { return detector_; }
     [[nodiscard]] const LoggerConfig& config() const { return config_; }
+
+    /// Bind the family-aggregate telemetry block (obs/metrics.hpp); the
+    /// per-instance accessors above are unaffected.
+    void bind_metrics(const obs::ProtocolMetrics& pm) {
+        obs_ = &pm.logger;
+        detector_.bind_metrics(pm.loss);
+    }
 
 private:
     struct FetchState {
@@ -123,6 +132,7 @@ private:
     std::uint64_t upstream_fetches_ = 0;
     std::uint64_t acks_sent_ = 0;
     std::uint64_t nacks_received_ = 0;
+    const obs::LoggerMetrics* obs_ = &obs::LoggerMetrics::disabled();
 };
 
 }  // namespace lbrm

@@ -25,6 +25,7 @@ LossDetector::Observation LossDetector::observe(TimePoint now, SeqNum seq,
         SeqNum gap_start = highest_.next();
         if (highest_.distance_to(seq) - 1 > max_gap_) {
             ++gap_overflows_;
+            obs_->gap_overflows->inc();
             gap_start = seq.plus(-max_gap_);
         }
         for (SeqNum s = gap_start; s < seq; ++s) {
@@ -46,6 +47,7 @@ LossDetector::Observation LossDetector::observe(TimePoint now, SeqNum seq,
             received_[seq] = true;
         }
         trim_received();
+        obs_->gaps_opened->inc(obs.newly_missing.size());
         return obs;
     }
 

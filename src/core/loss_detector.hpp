@@ -25,6 +25,7 @@
 
 #include "common/seqnum.hpp"
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
 
 namespace lbrm {
 
@@ -83,12 +84,18 @@ public:
 
     [[nodiscard]] std::int32_t max_gap() const { return max_gap_; }
 
+    /// Point the detector at a family-aggregate telemetry block (see
+    /// obs/metrics.hpp).  The per-instance gap_overflows() accessor is
+    /// unaffected; the block aggregates across every bound detector.
+    void bind_metrics(const obs::LossDetectorMetrics& m) { obs_ = &m; }
+
 private:
     bool started_ = false;
     SeqNum highest_{};  ///< highest seq proven transmitted
     TimePoint last_heard_{};
     std::int32_t max_gap_ = kDefaultMaxGap;
     std::uint64_t gap_overflows_ = 0;
+    const obs::LossDetectorMetrics* obs_ = &obs::LossDetectorMetrics::disabled();
     /// missing seq -> time the gap was detected (WireOrder: see seqnum.hpp)
     std::map<SeqNum, TimePoint, SeqNum::WireOrder> missing_;
     /// received data seqs within the reorder horizon (duplicate detection);

@@ -144,6 +144,7 @@ Actions ReceiverCore::accept_payload(TimePoint now, SeqNum seq, EpochId epoch,
 
     if (obs.duplicate) {
         ++duplicates_;
+        obs_->duplicates->inc();
         return actions;
     }
 
@@ -153,8 +154,13 @@ Actions ReceiverCore::accept_payload(TimePoint now, SeqNum seq, EpochId epoch,
     if (!obs.newly_missing.empty()) begin_recovery(now, actions);
 
     if (obs.fills_gap) {
-        pending_.erase(seq);
+        if (auto pit = pending_.find(seq); pit != pending_.end()) {
+            obs_->recovery_latency->observe(
+                to_seconds(now - pit->second.first_detected));
+            pending_.erase(pit);
+        }
         ++recovered_;
+        obs_->recovered->inc();
         if (pending_.empty()) {
             actions.push_back(CancelTimer{{TimerKind::kNackRetry, 0}});
         }
@@ -162,6 +168,7 @@ Actions ReceiverCore::accept_payload(TimePoint now, SeqNum seq, EpochId epoch,
     }
 
     ++delivered_;
+    obs_->delivered->inc();
     actions.push_back(DeliverData{seq, payload, recovered || obs.fills_gap});
     return actions;
 }
@@ -240,6 +247,7 @@ Actions ReceiverCore::fire_nack(TimePoint now) {
     NackBody nack;
     for (const auto& [seq, rec] : pending_) nack.missing.push_back(seq);
     ++nacks_sent_;
+    obs_->nacks_sent->inc();
     actions.push_back(SendUnicast{current_logger(now), make_packet(std::move(nack))});
     actions.push_back(
         StartTimer{{TimerKind::kNackRetry, 0}, now + config_.nack_retry});
@@ -336,6 +344,7 @@ Actions ReceiverCore::escalate(TimePoint now) {
             for (auto& [seq, rec] : pending_) {
                 detector_.abandon(seq);
                 ++recovery_failures_;
+                obs_->recovery_failures->inc();
                 actions.push_back(Notice{NoticeKind::kRecoveryFailed, seq.value()});
             }
             pending_.clear();

@@ -48,6 +48,13 @@ public:
     [[nodiscard]] std::uint64_t recovery_failures() const { return recovery_failures_; }
     [[nodiscard]] const ReceiverConfig& config() const { return config_; }
 
+    /// Bind the family-aggregate telemetry block (obs/metrics.hpp); the
+    /// per-instance accessors above are unaffected.
+    void bind_metrics(const obs::ProtocolMetrics& pm) {
+        obs_ = &pm.receiver;
+        detector_.bind_metrics(pm.loss);
+    }
+
 private:
     enum class RecoveryLevel : std::uint8_t {
         kLocal = 0,     ///< discovered/configured (secondary) logger
@@ -120,6 +127,7 @@ private:
     std::uint64_t nacks_sent_ = 0;
     std::uint64_t duplicates_ = 0;
     std::uint64_t recovery_failures_ = 0;
+    const obs::ReceiverMetrics* obs_ = &obs::ReceiverMetrics::disabled();
 };
 
 }  // namespace lbrm

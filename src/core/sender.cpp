@@ -12,6 +12,11 @@ SenderCore::SenderCore(SenderConfig config)
       primary_acked_(config_.initial_seq.prev()),
       replica_acked_(config_.initial_seq.prev()) {}
 
+void SenderCore::bind_metrics(const obs::ProtocolMetrics& pm) {
+    obs_ = &pm.sender;
+    stat_ack_.bind_metrics(pm.stat_ack);
+}
+
 Actions SenderCore::start(TimePoint now) {
     Actions actions;
     // MaxIT guarantee holds from the start: arm the first heartbeat even
@@ -72,6 +77,7 @@ Actions SenderCore::send(TimePoint now, std::span<const std::uint8_t> payload) {
     const SeqNum seq = next_seq_++;
     const EpochId epoch = stat_ack_.current_epoch();
     ++data_sent_;
+    obs_->data_sent->inc();
 
     retained_.insert(now, seq, epoch, payload);
     last_payload_.assign(payload.begin(), payload.end());
@@ -141,6 +147,7 @@ Actions SenderCore::on_timer(TimePoint now, TimerId id) {
     switch (id.kind) {
         case TimerKind::kHeartbeat: {
             ++heartbeats_sent_;
+            obs_->heartbeats_sent->inc();
             if (config_.heartbeat_carries_small_data && data_sent_ > 0 &&
                 last_payload_.size() <= config_.heartbeat_data_max_bytes) {
                 // Section 7: repeat the (small) data packet instead of an
@@ -240,8 +247,10 @@ Actions SenderCore::retry_log_store(TimePoint now) {
         log_store_retries_ = 0;
         failing_over_ = true;
         failover_candidate_ = 0;
+        obs_->failovers->inc();
         return begin_failover(now);
     }
+    obs_->log_store_retries->inc();
 
     // Re-send every retained packet the primary has not acknowledged yet.
     for (SeqNum seq = primary_acked_.next(); seq <= last_seq(); ++seq) {
@@ -314,6 +323,7 @@ void SenderCore::remulticast(TimePoint now, const std::vector<SeqNum>& seqs,
         if (entry == nullptr) continue;  // already released: loggers serve it
         // Re-multicast as a fresh copy of the data packet (Figure 8); the
         // designated ackers acknowledge it again and receivers dedup by seq.
+        obs_->remulticasts->inc();
         actions.push_back(SendMulticast{make_packet(
             DataBody{entry->seq, entry->epoch, entry->payload})});
     }

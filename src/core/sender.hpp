@@ -28,6 +28,7 @@
 #include "core/heartbeat.hpp"
 #include "core/log_store.hpp"
 #include "core/stat_ack.hpp"
+#include "obs/metrics.hpp"
 
 namespace lbrm {
 
@@ -63,6 +64,10 @@ public:
     [[nodiscard]] std::uint64_t heartbeats_sent() const { return heartbeats_sent_; }
     [[nodiscard]] std::uint64_t data_sent() const { return data_sent_; }
     [[nodiscard]] const SenderConfig& config() const { return config_; }
+
+    /// Bind the family-aggregate telemetry block (obs/metrics.hpp); the
+    /// per-instance accessors above are unaffected.
+    void bind_metrics(const obs::ProtocolMetrics& pm);
 
 private:
     [[nodiscard]] Packet make_packet(Body body) const {
@@ -115,6 +120,7 @@ private:
 
     std::uint64_t heartbeats_sent_ = 0;
     std::uint64_t data_sent_ = 0;
+    const obs::SenderMetrics* obs_ = &obs::SenderMetrics::disabled();
 };
 
 }  // namespace lbrm

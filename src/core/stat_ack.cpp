@@ -51,6 +51,7 @@ StatAckEngine::Result StatAckEngine::open_epoch(TimePoint now) {
 
     opening_epoch_ = EpochId{next_epoch_number_++};
     epochs_[opening_epoch_] = std::move(record);
+    obs_->epochs_opened->inc();
 
     // Keep at most: the epoch being opened, the active epoch, and one stale
     // epoch for ACK overlap across the transition (Section 2.3.1).
@@ -81,6 +82,8 @@ void StatAckEngine::close_epoch_window(TimePoint now, Actions& actions) {
         // Zero volunteers: with active_expected_ == 0 no packet gets ACK
         // accounting, so waiting a whole epoch_interval would leave the
         // group dark.  Surface the outage and re-solicit soon.
+        ++empty_epoch_resolicits_;
+        obs_->empty_epoch_resolicits->inc();
         actions.push_back(Notice{NoticeKind::kAckerOutage, active_epoch_.value()});
         actions.push_back(
             StartTimer{{TimerKind::kEpochRotate, 0}, now + config_.empty_epoch_retry});
@@ -150,6 +153,7 @@ StatAckEngine::Result StatAckEngine::on_packet(TimePoint now, const Packet& pack
         Result done;
         done.actions.push_back(CancelTimer{{TimerKind::kAckWait, ack->seq.value()}});
         done.completed.push_back(ack->seq);
+        obs_->packets_completed->inc();
         pending_.erase(pending_it);
         return done;
     }
@@ -185,10 +189,13 @@ StatAckEngine::Result StatAckEngine::on_timer(TimePoint now, TimerId id) {
                         {TimerKind::kAckWait, seq.value()}, now + t_wait()});
                 }
             } else {
-                if (pending.got.size() >= pending.expected)
+                if (pending.got.size() >= pending.expected) {
                     result.completed.push_back(seq);
-                else
+                    obs_->packets_completed->inc();
+                } else {
                     result.incomplete.push_back(seq);
+                    obs_->packets_incomplete->inc();
+                }
                 finalize(now, seq, pending);
                 pending_.erase(it);
             }
@@ -216,6 +223,7 @@ void StatAckEngine::decide(TimePoint now, SeqNum seq, PendingAck& pending,
         // the retransmission immediately (Section 2.3.2, Figure 8).
         ++pending.remulticasts;
         ++remulticast_decisions_;
+        obs_->remulticast_decisions->inc();
         pending.decided = false;  // the re-multicast gets its own t_wait cycle
         pending.sent_at = now;
         pending.got.clear();

@@ -33,6 +33,7 @@
 #include "core/actions.hpp"
 #include "core/config.hpp"
 #include "core/group_estimate.hpp"
+#include "obs/metrics.hpp"
 
 namespace lbrm {
 
@@ -84,10 +85,18 @@ public:
     [[nodiscard]] bool probing() const { return estimator_.probing() && !statically_sized_; }
     [[nodiscard]] std::size_t blacklisted_count() const { return blacklist_.size(); }
     [[nodiscard]] std::uint64_t remulticast_decisions() const { return remulticast_decisions_; }
+    /// Epoch windows that closed with zero Designated-Acker volunteers and
+    /// were re-solicited after `empty_epoch_retry` (Section 2.3.1 outage).
+    [[nodiscard]] std::uint64_t empty_epoch_resolicits() const {
+        return empty_epoch_resolicits_;
+    }
     [[nodiscard]] const StatAckConfig& config() const { return config_; }
 
     /// Skip probing: the deployment knows its site count (static config).
     void set_group_size(double n_sl);
+
+    /// Bind the family-aggregate telemetry block (obs/metrics.hpp).
+    void bind_metrics(const obs::StatAckMetrics& m) { obs_ = &m; }
 
 private:
     struct EpochRecord {
@@ -138,7 +147,9 @@ private:
     std::set<NodeId> blacklist_;
 
     std::uint64_t remulticast_decisions_ = 0;
+    std::uint64_t empty_epoch_resolicits_ = 0;
     std::uint32_t next_epoch_number_ = 1;
+    const obs::StatAckMetrics* obs_ = &obs::StatAckMetrics::disabled();
 };
 
 }  // namespace lbrm

@@ -1,0 +1,248 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <type_traits>
+#include <utility>
+
+namespace lbrm::obs {
+
+Counter& Counter::sink() {
+    static Counter sink;
+    return sink;
+}
+
+Gauge& Gauge::sink() {
+    static Gauge sink;
+    return sink;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {}
+
+Histogram& Histogram::sink() {
+    static Histogram sink{std::vector<double>{}};
+    return sink;
+}
+
+Metrics::~Metrics() = default;
+
+Counter& Metrics::counter(std::string_view name) {
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_.emplace(std::string{name}, Counter{}).first;
+    return it->second;
+}
+
+Gauge& Metrics::gauge(std::string_view name) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) it = gauges_.emplace(std::string{name}, Gauge{}).first;
+    return it->second;
+}
+
+Histogram& Metrics::histogram(std::string_view name, std::vector<double> upper_bounds) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(std::string{name}, Histogram{std::move(upper_bounds)})
+                 .first;
+    return it->second;
+}
+
+void Metrics::gauge_fn(std::string_view name, std::function<std::uint64_t()> fn) {
+    pull_gauges_.insert_or_assign(std::string{name}, std::move(fn));
+}
+
+void Metrics::remove_gauge_fn(std::string_view name) {
+    auto it = pull_gauges_.find(name);
+    if (it != pull_gauges_.end()) pull_gauges_.erase(it);
+}
+
+std::uint64_t Metrics::value(std::string_view name) const {
+    if (auto it = counters_.find(name); it != counters_.end()) return it->second.value();
+    if (auto it = gauges_.find(name); it != gauges_.end()) return it->second.value();
+    if (auto it = pull_gauges_.find(name); it != pull_gauges_.end())
+        return it->second ? it->second() : 0;
+    return 0;
+}
+
+bool Metrics::has(std::string_view name) const {
+    return counters_.contains(name) || gauges_.contains(name) ||
+           pull_gauges_.contains(name) || histograms_.contains(name);
+}
+
+namespace {
+
+/// Bucket label: trailing zeros trimmed so "0.005" stays readable.
+std::string bound_label(double b) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", b);
+    return buf;
+}
+
+}  // namespace
+
+std::vector<Metrics::Sample> Metrics::snapshot() const {
+    std::vector<Sample> out;
+    out.reserve(counters_.size() + gauges_.size() + pull_gauges_.size() +
+                histograms_.size() * 4);
+    for (const auto& [name, c] : counters_)
+        out.push_back({name, static_cast<double>(c.value())});
+    for (const auto& [name, g] : gauges_)
+        out.push_back({name, static_cast<double>(g.value())});
+    for (const auto& [name, fn] : pull_gauges_)
+        out.push_back({name, fn ? static_cast<double>(fn()) : 0.0});
+    for (const auto& [name, h] : histograms_) {
+        const auto& bounds = h.bounds();
+        const auto& counts = h.counts();
+        for (std::size_t i = 0; i < bounds.size(); ++i)
+            out.push_back({name + ".le_" + bound_label(bounds[i]),
+                           static_cast<double>(counts[i])});
+        out.push_back({name + ".le_inf", static_cast<double>(counts.back())});
+        out.push_back({name + ".count", static_cast<double>(h.count())});
+        out.push_back({name + ".sum", h.sum()});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Sample& a, const Sample& b) { return a.name < b.name; });
+    return out;
+}
+
+std::string Metrics::to_json() const {
+    std::string json = "{";
+    bool first = true;
+    char buf[64];
+    for (const Sample& s : snapshot()) {
+        if (!first) json += ",";
+        first = false;
+        json += "\"" + s.name + "\":";
+        if (s.value == static_cast<double>(static_cast<std::int64_t>(s.value)))
+            std::snprintf(buf, sizeof buf, "%lld",
+                          static_cast<long long>(s.value));
+        else
+            std::snprintf(buf, sizeof buf, "%.9g", s.value);
+        json += buf;
+    }
+    json += "}";
+    return json;
+}
+
+bool Metrics::write_json(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return false;
+    out << to_json() << "\n";
+    return bool(out);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol handle blocks
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Recovery-latency buckets in seconds: NACK-path repairs land around the
+/// nack_delay + RTT scale (milliseconds); the tail covers retry escalation.
+std::vector<double> recovery_latency_bounds() {
+    return {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0};
+}
+
+/// Wire-type names for the "host.send.<TYPE>" rows, indexed by the
+/// PacketType numeric value.  Must match packet/packet.cpp to_string()
+/// (telemetry_test cross-checks the two).
+constexpr std::array<const char*, 20> kWireTypeNames = {
+    nullptr,          "DATA",           "HEARTBEAT",       "NACK",
+    "RETRANS",        "LOG_STORE",      "LOG_ACK",         "REPLICA_UPDATE",
+    "REPLICA_ACK",    "ACKER_SELECTION", "ACKER_RESPONSE", "ACK",
+    "PROBE_REQUEST",  "PROBE_REPLY",    "DISCOVERY_QUERY", "DISCOVERY_REPLY",
+    "PRIMARY_QUERY",  "PRIMARY_REPLY",  "PROMOTE_REQUEST", "PROMOTE_REPLY"};
+
+template <typename Block>
+const Block& disabled_block() {
+    static const Block block = [] {
+        Block b;
+        auto* c = &Counter::sink();
+        // Every Counter* member points at the sink; Histogram* likewise.
+        if constexpr (std::is_same_v<Block, SenderMetrics>)
+            b = {c, c, c, c, c};
+        else if constexpr (std::is_same_v<Block, ReceiverMetrics>)
+            b = {c, c, c, c, c, &Histogram::sink()};
+        else if constexpr (std::is_same_v<Block, LoggerMetrics>)
+            b = {c, c, c, c, c};
+        else if constexpr (std::is_same_v<Block, StatAckMetrics>)
+            b = {c, c, c, c, c};
+        else if constexpr (std::is_same_v<Block, HostMetrics>) {
+            b.send_by_type.fill(c);
+            b.timers_armed = b.timers_cancelled = b.notices = c;
+        } else
+            b = {c, c};
+        return b;
+    }();
+    return block;
+}
+
+}  // namespace
+
+const SenderMetrics& SenderMetrics::disabled() {
+    return disabled_block<SenderMetrics>();
+}
+const ReceiverMetrics& ReceiverMetrics::disabled() {
+    return disabled_block<ReceiverMetrics>();
+}
+const LoggerMetrics& LoggerMetrics::disabled() {
+    return disabled_block<LoggerMetrics>();
+}
+const StatAckMetrics& StatAckMetrics::disabled() {
+    return disabled_block<StatAckMetrics>();
+}
+const LossDetectorMetrics& LossDetectorMetrics::disabled() {
+    return disabled_block<LossDetectorMetrics>();
+}
+const HostMetrics& HostMetrics::disabled() { return disabled_block<HostMetrics>(); }
+
+const ProtocolMetrics& ProtocolMetrics::disabled() {
+    static const ProtocolMetrics block{
+        SenderMetrics::disabled(),   ReceiverMetrics::disabled(),
+        LoggerMetrics::disabled(),   StatAckMetrics::disabled(),
+        LossDetectorMetrics::disabled(), HostMetrics::disabled()};
+    return block;
+}
+
+const ProtocolMetrics& Metrics::protocol() {
+    if (!protocol_) {
+        auto pm = std::make_unique<ProtocolMetrics>();
+        pm->sender = {&counter("proto.sender.data_sent"),
+                      &counter("proto.sender.heartbeats_sent"),
+                      &counter("proto.sender.remulticasts"),
+                      &counter("proto.sender.log_store_retries"),
+                      &counter("proto.sender.failovers")};
+        pm->receiver = {&counter("proto.receiver.delivered"),
+                        &counter("proto.receiver.recovered"),
+                        &counter("proto.receiver.nacks_sent"),
+                        &counter("proto.receiver.duplicates"),
+                        &counter("proto.receiver.recovery_failures"),
+                        &histogram("proto.receiver.recovery_latency_s",
+                                   recovery_latency_bounds())};
+        pm->logger = {&counter("proto.logger.nacks_received"),
+                      &counter("proto.logger.served_unicast"),
+                      &counter("proto.logger.served_multicast"),
+                      &counter("proto.logger.upstream_fetches"),
+                      &counter("proto.logger.acks_sent")};
+        pm->stat_ack = {&counter("proto.stat_ack.epochs_opened"),
+                        &counter("proto.stat_ack.remulticast_decisions"),
+                        &counter("proto.stat_ack.empty_epoch_resolicits"),
+                        &counter("proto.stat_ack.packets_completed"),
+                        &counter("proto.stat_ack.packets_incomplete")};
+        pm->loss = {&counter("proto.loss.gaps_opened"),
+                    &counter("proto.loss.gap_overflows")};
+        pm->host.send_by_type[0] = &Counter::sink();
+        for (std::size_t t = 1; t < kWireTypeNames.size(); ++t)
+            pm->host.send_by_type[t] =
+                &counter(std::string("host.send.") + kWireTypeNames[t]);
+        pm->host.timers_armed = &counter("host.timers_armed");
+        pm->host.timers_cancelled = &counter("host.timers_cancelled");
+        pm->host.notices = &counter("host.notices");
+        protocol_ = std::move(pm);
+    }
+    return *protocol_;
+}
+
+}  // namespace lbrm::obs

@@ -1,0 +1,78 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/metrics.hpp"
+
+namespace lbrm::obs {
+
+void Sampler::add_rate(std::string name) {
+    series_.push_back(Series{std::move(name), /*rate=*/true, 0, {}});
+}
+
+void Sampler::add_level(std::string name) {
+    series_.push_back(Series{std::move(name), /*rate=*/false, 0, {}});
+}
+
+void Sampler::tick(TimePoint now) {
+    times_.push_back(to_seconds(now));
+    for (Series& s : series_) {
+        const std::uint64_t v = metrics_.value(s.name);
+        if (s.rate) {
+            // Counters are monotonic; guard anyway so a reset source can
+            // never underflow the delta.
+            s.values.push_back(v >= s.last ? v - s.last : 0);
+            s.last = v;
+        } else {
+            s.values.push_back(v);
+        }
+    }
+}
+
+const std::vector<std::uint64_t>* Sampler::series(const std::string& name) const {
+    const auto it = std::find_if(series_.begin(), series_.end(),
+                                 [&](const Series& s) { return s.name == name; });
+    return it != series_.end() ? &it->values : nullptr;
+}
+
+std::string Sampler::to_json() const {
+    char buf[64];
+    std::string json = "{\"interval_s\":";
+    std::snprintf(buf, sizeof buf, "%.9g", to_seconds(interval_));
+    json += buf;
+    json += ",\"t\":[";
+    for (std::size_t i = 0; i < times_.size(); ++i) {
+        if (i != 0) json += ",";
+        std::snprintf(buf, sizeof buf, "%.9g", times_[i]);
+        json += buf;
+    }
+    json += "],\"series\":{";
+    bool first = true;
+    for (const Series& s : series_) {
+        if (!first) json += ",";
+        first = false;
+        json += "\"" + s.name + "\":{\"kind\":\"";
+        json += s.rate ? "rate" : "level";
+        json += "\",\"values\":[";
+        for (std::size_t i = 0; i < s.values.size(); ++i) {
+            if (i != 0) json += ",";
+            std::snprintf(buf, sizeof buf, "%llu",
+                          static_cast<unsigned long long>(s.values[i]));
+            json += buf;
+        }
+        json += "]}";
+    }
+    json += "}}";
+    return json;
+}
+
+bool Sampler::write_json(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return false;
+    out << to_json() << "\n";
+    return bool(out);
+}
+
+}  // namespace lbrm::obs

@@ -1,0 +1,67 @@
+// Sim-time metrics sampler (see DESIGN.md "Observability").
+//
+// Snapshots selected registry metrics at a fixed simulated-time cadence,
+// turning lifetime counters into per-interval curves: heartbeat bandwidth,
+// NACK rate, delivered packets per second -- the protocol-health
+// counterpart to the paper's Figures 4/5/8.  The sampler only *reads*
+// counters (and evaluates pull gauges), so attaching one never perturbs
+// protocol traffic; the tick events do consume event-queue tiebreak
+// numbers, which cannot reorder protocol events relative to each other
+// (tiebreaks are allocated monotonically) -- the telemetry determinism A/B
+// test asserts the resulting packet trace is bit-identical.
+//
+// The sampler is scheduling-agnostic: the owner calls tick() on its own
+// cadence (DisScenario::start_sampling arms a recurring simulator event).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace lbrm::obs {
+
+class Metrics;
+
+class Sampler {
+public:
+    explicit Sampler(Metrics& metrics) : metrics_(metrics) {}
+
+    /// Track a counter as a per-interval delta series ("rate").
+    void add_rate(std::string name);
+    /// Track a gauge (push or pull) as a sampled-level series.
+    void add_level(std::string name);
+
+    /// Record one row at simulated time `now` (monotonically increasing).
+    void tick(TimePoint now);
+
+    /// The cadence tick() is driven at; stored for export only.
+    void set_interval(Duration interval) { interval_ = interval; }
+    [[nodiscard]] Duration interval() const { return interval_; }
+
+    [[nodiscard]] std::size_t rows() const { return times_.size(); }
+    [[nodiscard]] const std::vector<double>& times() const { return times_; }
+    /// Per-interval values of one tracked series; empty when unknown.
+    [[nodiscard]] const std::vector<std::uint64_t>* series(
+        const std::string& name) const;
+
+    /// {"interval_s":..,"t":[..],"series":{"name":{"kind":"rate","values":[..]}}}
+    [[nodiscard]] std::string to_json() const;
+    bool write_json(const std::string& path) const;
+
+private:
+    struct Series {
+        std::string name;
+        bool rate;                          ///< delta vs sampled level
+        std::uint64_t last = 0;             ///< previous cumulative (rate only)
+        std::vector<std::uint64_t> values;
+    };
+
+    Metrics& metrics_;
+    Duration interval_ = Duration::zero();
+    std::vector<double> times_;  ///< seconds of sim time per row
+    std::vector<Series> series_;
+};
+
+}  // namespace lbrm::obs

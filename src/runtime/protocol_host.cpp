@@ -4,20 +4,45 @@ namespace lbrm {
 
 SenderCore& ProtocolHost::add_sender(SenderConfig config, AppHandlers handlers) {
     sender_ = std::make_unique<SenderSlot>(std::move(config), std::move(handlers));
+    if (metrics_ != nullptr) sender_->core.bind_metrics(*metrics_);
     return sender_->core;
 }
 
 ReceiverCore& ProtocolHost::add_receiver(ReceiverConfig config, AppHandlers handlers) {
-    return receivers_
-        .emplace_back(next_tag_++, std::move(config), std::move(handlers))
-        .core;
+    ReceiverCore& core =
+        receivers_.emplace_back(next_tag_++, std::move(config), std::move(handlers))
+            .core;
+    if (metrics_ != nullptr) core.bind_metrics(*metrics_);
+    return core;
 }
 
 LoggerCore& ProtocolHost::add_logger(LoggerConfig config, std::uint64_t rng_seed,
                                      AppHandlers handlers) {
-    return loggers_
-        .emplace_back(next_tag_++, std::move(config), rng_seed, std::move(handlers))
-        .core;
+    LoggerCore& core =
+        loggers_
+            .emplace_back(next_tag_++, std::move(config), rng_seed, std::move(handlers))
+            .core;
+    if (metrics_ != nullptr) core.bind_metrics(*metrics_);
+    return core;
+}
+
+void ProtocolHost::bind_metrics(obs::Metrics& metrics) {
+    metrics_ = &metrics.protocol();
+    host_ = &metrics_->host;
+    if (sender_) sender_->core.bind_metrics(*metrics_);
+    for (auto& slot : receivers_) slot.core.bind_metrics(*metrics_);
+    for (auto& slot : loggers_) slot.core.bind_metrics(*metrics_);
+}
+
+std::uint64_t ProtocolHost::gap_overflows() const {
+    std::uint64_t total = 0;
+    for (const auto& slot : receivers_) total += slot.core.detector().gap_overflows();
+    for (const auto& slot : loggers_) total += slot.core.detector().gap_overflows();
+    return total;
+}
+
+std::uint64_t ProtocolHost::zero_volunteer_resolicits() const {
+    return sender_ ? sender_->core.stat_ack().empty_epoch_resolicits() : 0;
 }
 
 CoreBase& ProtocolHost::add_core(std::unique_ptr<CoreBase> core, AppHandlers handlers) {
@@ -99,16 +124,23 @@ void ProtocolHost::execute(TimePoint now, std::uint32_t tag, const AppHandlers& 
                            Actions&& actions) {
     for (Action& action : actions) {
         if (auto* send = std::get_if<SendUnicast>(&action)) {
+            host_->send_by_type[static_cast<std::size_t>(send->packet.type())]
+                ->inc();
             network_.send_unicast(send->to, send->packet);
         } else if (auto* mcast = std::get_if<SendMulticast>(&action)) {
+            host_->send_by_type[static_cast<std::size_t>(mcast->packet.type())]
+                ->inc();
             network_.send_multicast(mcast->packet, mcast->scope);
         } else if (auto* start = std::get_if<StartTimer>(&action)) {
+            host_->timers_armed->inc();
             timers_.arm(tag, start->id, start->deadline);
         } else if (auto* cancel = std::get_if<CancelTimer>(&action)) {
+            host_->timers_cancelled->inc();
             timers_.cancel(tag, cancel->id);
         } else if (auto* deliver = std::get_if<DeliverData>(&action)) {
             if (handlers.on_data) handlers.on_data(now, *deliver);
         } else if (auto* notice = std::get_if<Notice>(&action)) {
+            host_->notices->inc();
             if (handlers.on_notice) handlers.on_notice(now, *notice);
         } else if (auto* join = std::get_if<JoinGroup>(&action)) {
             network_.join_group(join->group);

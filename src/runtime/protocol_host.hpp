@@ -23,6 +23,7 @@
 #include "core/logger.hpp"
 #include "core/receiver.hpp"
 #include "core/sender.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/services.hpp"
 
 namespace lbrm {
@@ -67,6 +68,19 @@ public:
     [[nodiscard]] SenderCore* sender() { return sender_ ? &sender_->core : nullptr; }
     [[nodiscard]] std::size_t core_count() const;
 
+    /// Bind a metrics registry: resolves the shared protocol handle block
+    /// plus host-level send/timer counters, and binds every core attached so
+    /// far.  Cores attached later are bound at attach time.  Idempotent.
+    void bind_metrics(obs::Metrics& metrics);
+
+    // --- aggregated protocol health ------------------------------------
+    /// Gap-table clamp events summed across every attached receiver *and*
+    /// secondary-logger loss detector (LossDetector::gap_overflows).
+    [[nodiscard]] std::uint64_t gap_overflows() const;
+    /// Zero-volunteer acker epochs the sender's statistical-ACK engine had
+    /// to re-solicit (StatAckEngine::empty_epoch_resolicits).
+    [[nodiscard]] std::uint64_t zero_volunteer_resolicits() const;
+
 private:
     // Tagged slots: tag 0 = sender; receivers and loggers get tags 1..N in
     // attach order.
@@ -103,6 +117,8 @@ private:
 
     NetworkService& network_;
     TimerService& timers_;
+    const obs::ProtocolMetrics* metrics_ = nullptr;  ///< null until bound
+    const obs::HostMetrics* host_ = &obs::HostMetrics::disabled();
 
     /// Behind a pointer on purpose: at most one host in a whole scenario
     /// carries a sender, so inlining the slot would cost sizeof(SenderCore)

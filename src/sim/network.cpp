@@ -8,6 +8,7 @@
 #include <string_view>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "sim/sim_host.hpp"
 
 namespace lbrm::sim {
@@ -53,18 +54,87 @@ constexpr std::int64_t kInfDist = std::numeric_limits<std::int64_t>::max();
 
 }  // namespace
 
+namespace {
+/// "sim.*" pull-gauge names registered by register_metrics(); ~Network
+/// removes exactly this list (the registry can outlive the network).
+constexpr const char* kSimGaugeNames[] = {
+    "sim.cached_trees",     "sim.tree_cache_bytes",   "sim.site_rows_built",
+    "sim.routing_table_bytes", "sim.path_cache_entries", "sim.drops_queue",
+    "sim.drops_loss",       "sim.link_packets",       "sim.link_bytes",
+    "sim.queue_pending",    "sim.events_processed",   "sim.events_scheduled",
+};
+}  // namespace
+
 Network::Network(Simulator& simulator, std::uint64_t seed, SimConfig config)
     : simulator_(simulator), rng_(seed),
       finalize_mode_(resolve_finalize_mode(config.finalize_mode)),
       finalize_threads_(config.finalize_threads),
       path_cache_capacity_(config.path_cache_capacity),
       tree_cache_capacity_(config.tree_cache_capacity),
+      metrics_(config.metrics ? config.metrics : std::make_shared<obs::Metrics>()),
       flat_routes_requested_(config.flat_routes ||
                              std::getenv("LBRM_SIM_FLAT_ROUTES") != nullptr),
-      batching_enabled_(std::getenv("LBRM_SIM_NO_BATCH") == nullptr) {}
+      batching_enabled_(std::getenv("LBRM_SIM_NO_BATCH") == nullptr) {
+    register_metrics();
+}
 
 Network::~Network() {
     while (deliveries_ != nullptr) destroy(deliveries_);
+    for (const char* name : kSimGaugeNames) metrics_->remove_gauge_fn(name);
+}
+
+void Network::register_metrics() {
+    obs::Metrics& m = *metrics_;
+    unicast_sends_ = &m.counter("sim.unicast_sends");
+    multicast_sends_ = &m.counter("sim.multicast_sends");
+    deliveries_made_ = &m.counter("sim.deliveries");
+    tree_cache_hits_ = &m.counter("sim.tree_cache_hits");
+    tree_builds_ = &m.counter("sim.tree_builds");
+    path_cache_hits_ = &m.counter("sim.path_cache_hits");
+    path_cache_misses_ = &m.counter("sim.path_cache_misses");
+    batched_arrivals_ = &m.counter("sim.batched_arrivals");
+    batch_drains_ = &m.counter("sim.batch_drains");
+
+    // Pull gauges: evaluated at snapshot time only, so none of these touch
+    // the hot path.  When several networks share one registry the most
+    // recently constructed network's gauges win (find-or-create semantics).
+    m.gauge_fn("sim.cached_trees",
+               [this] { return static_cast<std::uint64_t>(cached_trees_); });
+    m.gauge_fn("sim.tree_cache_bytes",
+               [this] { return static_cast<std::uint64_t>(tree_cache_bytes()); });
+    m.gauge_fn("sim.site_rows_built",
+               [this] { return static_cast<std::uint64_t>(site_rows_built()); });
+    m.gauge_fn("sim.routing_table_bytes",
+               [this] { return static_cast<std::uint64_t>(routing_table_bytes()); });
+    m.gauge_fn("sim.path_cache_entries",
+               [this] { return static_cast<std::uint64_t>(path_cache_.size()); });
+    m.gauge_fn("sim.drops_queue", [this] { return drop_breakdown().queue; });
+    m.gauge_fn("sim.drops_loss", [this] { return drop_breakdown().loss; });
+    m.gauge_fn("sim.link_packets", [this] {
+        std::uint64_t total = 0;
+        for (const Link& l : links_) total += l.stats().packets;
+        return total;
+    });
+    m.gauge_fn("sim.link_bytes", [this] {
+        std::uint64_t total = 0;
+        for (const Link& l : links_) total += l.stats().bytes;
+        return total;
+    });
+    m.gauge_fn("sim.queue_pending",
+               [this] { return static_cast<std::uint64_t>(simulator_.pending()); });
+    m.gauge_fn("sim.events_processed",
+               [this] { return simulator_.events_processed(); });
+    m.gauge_fn("sim.events_scheduled",
+               [this] { return simulator_.events_scheduled(); });
+}
+
+Network::DropBreakdown Network::drop_breakdown() const {
+    DropBreakdown out;
+    for (const Link& l : links_) {
+        out.queue += l.stats().drops_queue;
+        out.loss += l.stats().drops_loss;
+    }
+    return out;
 }
 
 void Network::track(DeliveryBase* d) {
@@ -209,36 +279,44 @@ void Network::build_adjacency() {
 }
 
 void Network::finalize() {
-    invalidate_all_trees();
-    clear_path_cache();
-    // Snapshot adjacency and liveness: every table row -- including rows a
-    // lazy finalize materialises mid-run -- is a pure function of these,
-    // so build order/time cannot change a route.
-    build_adjacency();
-    route_down_.assign(node_down_.begin(), node_down_.end());
+    LBRM_TRACE_SPAN("finalize");
+    {
+        LBRM_TRACE_SPAN("finalize.prep");
+        invalidate_all_trees();
+        clear_path_cache();
+        // Snapshot adjacency and liveness: every table row -- including rows
+        // a lazy finalize materialises mid-run -- is a pure function of
+        // these, so build order/time cannot change a route.
+        build_adjacency();
+        route_down_.assign(node_down_.begin(), node_down_.end());
+    }
     built_flat_ = flat_routes_requested_;
     rows_built_.store(0, std::memory_order_relaxed);
-    if (built_flat_) {
-        // Release the hierarchical tables (mode may have flipped).
-        std::vector<SiteTable>().swap(site_tables_);
-        std::vector<std::uint32_t>().swap(node_site_);
-        std::vector<std::uint32_t>().swap(node_local_);
-        std::vector<std::uint32_t>().swap(border_nodes_);
-        std::vector<std::uint32_t>().swap(node_border_);
-        std::vector<std::uint8_t>().swap(border_down_);
-        std::vector<std::int64_t>().swap(bb_dist_);
-        std::vector<std::uint32_t>().swap(bb_next_node_);
-        std::vector<Link*>().swap(bb_next_link_);
-        build_flat_routes();
-    } else {
-        std::vector<std::uint32_t>().swap(routes_);
-        std::vector<Link*>().swap(route_links_);
-        build_hierarchical_routes();
+    {
+        LBRM_TRACE_SPAN("finalize.routes");
+        if (built_flat_) {
+            // Release the hierarchical tables (mode may have flipped).
+            std::vector<SiteTable>().swap(site_tables_);
+            std::vector<std::uint32_t>().swap(node_site_);
+            std::vector<std::uint32_t>().swap(node_local_);
+            std::vector<std::uint32_t>().swap(border_nodes_);
+            std::vector<std::uint32_t>().swap(node_border_);
+            std::vector<std::uint8_t>().swap(border_down_);
+            std::vector<std::int64_t>().swap(bb_dist_);
+            std::vector<std::uint32_t>().swap(bb_next_node_);
+            std::vector<Link*>().swap(bb_next_link_);
+            build_flat_routes();
+        } else {
+            std::vector<std::uint32_t>().swap(routes_);
+            std::vector<Link*>().swap(route_links_);
+            build_hierarchical_routes();
+        }
     }
     finalized_ = true;
 }
 
 void Network::build_flat_routes() {
+    LBRM_TRACE_SPAN("finalize.flat_routes");
     const std::size_t n = node_count();
     routes_.assign(n * n, 0);
     route_links_.assign(n * n, nullptr);
@@ -286,51 +364,54 @@ void Network::build_flat_routes() {
 void Network::build_hierarchical_routes() {
     const std::size_t n = node_count();
 
-    // 1. Group nodes into dense site indices (first-appearance order).
-    site_tables_.clear();
-    node_site_.assign(n, 0);
-    node_local_.assign(n, 0);
-    std::unordered_map<std::uint32_t, std::uint32_t> site_index;
-    for (std::size_t i = 0; i < n; ++i) {
-        const std::uint32_t key = node_site_id_[i].value();
-        auto [it, inserted] = site_index.emplace(
-            key, static_cast<std::uint32_t>(site_tables_.size()));
-        if (inserted) site_tables_.emplace_back();
-        SiteTable& table = site_tables_[it->second];
-        node_site_[i] = it->second;
-        node_local_[i] = static_cast<std::uint32_t>(table.nodes.size());
-        table.nodes.push_back(static_cast<std::uint32_t>(i));
-    }
-    // Pre-size every row slot now: the parallel workers below then write
-    // disjoint slots with no shared mutable state, and lazy builds later
-    // fill whichever slot traffic first touches.
-    for (SiteTable& table : site_tables_) {
-        table.rows.clear();
-        table.rows.resize(table.nodes.size());
-        table.borders.clear();
-    }
+    {
+        LBRM_TRACE_SPAN("finalize.site_index");
+        // 1. Group nodes into dense site indices (first-appearance order).
+        site_tables_.clear();
+        node_site_.assign(n, 0);
+        node_local_.assign(n, 0);
+        std::unordered_map<std::uint32_t, std::uint32_t> site_index;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint32_t key = node_site_id_[i].value();
+            auto [it, inserted] = site_index.emplace(
+                key, static_cast<std::uint32_t>(site_tables_.size()));
+            if (inserted) site_tables_.emplace_back();
+            SiteTable& table = site_tables_[it->second];
+            node_site_[i] = it->second;
+            node_local_[i] = static_cast<std::uint32_t>(table.nodes.size());
+            table.nodes.push_back(static_cast<std::uint32_t>(i));
+        }
+        // Pre-size every row slot now: the parallel workers below then write
+        // disjoint slots with no shared mutable state, and lazy builds later
+        // fill whichever slot traffic first touches.
+        for (SiteTable& table : site_tables_) {
+            table.rows.clear();
+            table.rows.resize(table.nodes.size());
+            table.borders.clear();
+        }
 
-    // 2. Border nodes: any node with an inter-site link (ascending index).
-    border_nodes_.clear();
-    node_border_.assign(n, kNoIndex);
-    for (std::size_t i = 0; i < n; ++i) {
-        for (std::uint32_t k = csr_offset_[i]; k != csr_offset_[i + 1]; ++k) {
-            if (node_site_[csr_to_[k]] != node_site_[i]) {
-                node_border_[i] = static_cast<std::uint32_t>(border_nodes_.size());
-                border_nodes_.push_back(static_cast<std::uint32_t>(i));
-                site_tables_[node_site_[i]].borders.push_back(
-                    static_cast<std::uint32_t>(i));
-                break;
+        // 2. Border nodes: any node with an inter-site link (ascending index).
+        border_nodes_.clear();
+        node_border_.assign(n, kNoIndex);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::uint32_t k = csr_offset_[i]; k != csr_offset_[i + 1]; ++k) {
+                if (node_site_[csr_to_[k]] != node_site_[i]) {
+                    node_border_[i] = static_cast<std::uint32_t>(border_nodes_.size());
+                    border_nodes_.push_back(static_cast<std::uint32_t>(i));
+                    site_tables_[node_site_[i]].borders.push_back(
+                        static_cast<std::uint32_t>(i));
+                    break;
+                }
             }
         }
+        // Border projection of the liveness snapshot: compose_hop must see the
+        // state the tables were built under, not later set_node_down
+        // transitions (which only take routing effect at the next finalize, in
+        // both schemes).
+        border_down_.assign(border_nodes_.size(), 0);
+        for (std::size_t b = 0; b < border_nodes_.size(); ++b)
+            border_down_[b] = route_down_[border_nodes_[b]];
     }
-    // Border projection of the liveness snapshot: compose_hop must see the
-    // state the tables were built under, not later set_node_down
-    // transitions (which only take routing effect at the next finalize, in
-    // both schemes).
-    border_down_.assign(border_nodes_.size(), 0);
-    for (std::size_t b = 0; b < border_nodes_.size(); ++b)
-        border_down_[b] = route_down_[border_nodes_[b]];
 
     // 3. Per-site all-pairs rows (serial, parallel or lazy -- identical
     //    bytes either way; see build_site_row).
@@ -342,6 +423,7 @@ void Network::build_hierarchical_routes() {
 }
 
 void Network::build_site_rows() {
+    LBRM_TRACE_SPAN("finalize.site_rows");
     const std::size_t sites = site_tables_.size();
     switch (finalize_mode_) {
         case SimFinalizeMode::kLazy:
@@ -366,6 +448,7 @@ void Network::build_site_rows() {
                 // inputs (CSR, route_down_, site indexing) are read-only.
                 std::atomic<std::size_t> next_site{0};
                 auto work = [this, &next_site, sites] {
+                    LBRM_TRACE_SPAN("finalize.site_rows.worker");
                     DijkstraScratch scratch;
                     for (;;) {
                         const std::size_t s =
@@ -439,6 +522,7 @@ void Network::build_site_row(std::uint32_t site, std::uint32_t src_local,
 }
 
 void Network::build_backbone() {
+    LBRM_TRACE_SPAN("finalize.backbone");
     // Backbone all-pairs over the border nodes.  Edges: real inter-site
     // links, plus one virtual edge per same-site border pair weighted by
     // the intra-site distance -- so inter-border travel *through* a site's
@@ -586,9 +670,11 @@ Network::Hop Network::hop_toward(std::uint32_t from, std::uint32_t to) {
     const std::uint64_t key = path_key(from, to);
     auto it = path_cache_.find(key);
     if (it != path_cache_.end()) {
+        path_cache_hits_->inc();
         path_lru_.splice(path_lru_.begin(), path_lru_, it->second.lru);
         return it->second.hop;
     }
+    path_cache_misses_->inc();
     const Hop hop = compose_hop(from, to);
     path_lru_.push_front(key);
     path_cache_.emplace(key, PathEntry{hop, path_lru_.begin()});
@@ -755,7 +841,10 @@ void Network::deliver_local(NodeId node, const Packet& packet) {
     const std::size_t i = index(node);
     if (node_down_[i] != 0) return;
     SimHost* h = i < node_host_.size() ? node_host_[i] : nullptr;
-    if (h != nullptr) h->deliver(simulator_.now(), packet);
+    if (h != nullptr) {
+        deliveries_made_->inc();
+        h->deliver(simulator_.now(), packet);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -773,6 +862,7 @@ void Network::schedule_arrival(Link* l, bool was_busy, TimePoint arrival,
     // link's FIFO under the tiebreak an immediate schedule would have used,
     // so the drain event fires it at the exact (time, order) position of
     // the unbatched path.
+    batched_arrivals_->inc();
     const std::uint64_t tiebreak = simulator_.reserve_tiebreak();
     if (l->drain_slot() == 0)
         l->set_drain_slot(simulator_.create_recurring([this, l] { drain_link(l); }));
@@ -785,6 +875,7 @@ void Network::schedule_arrival(Link* l, bool was_busy, TimePoint arrival,
 
 void Network::drain_link(Link* l) {
     if (!l->drain_armed() || !l->has_pending()) return;
+    batch_drains_->inc();
     const Link::PendingArrival entry = l->pop_pending();
     // Re-arm for the next pending arrival *before* resuming the delivery:
     // it may transmit on this same link, and any arrival it parks is later
@@ -821,6 +912,7 @@ void Network::unicast(NodeId from, NodeId to, const Packet& packet) {
     if (node_down_[index(from)] != 0) return;
     if (from != to && !finalized_)
         throw std::logic_error("Network: finalize() before sending traffic");
+    unicast_sends_->inc();
     auto* d = new UnicastDelivery(*this, packet, static_cast<std::uint32_t>(index(to)));
     track(d);
     if (from == to) {  // local delivery without touching the network
@@ -887,7 +979,9 @@ struct Network::TreeDelivery final : DeliveryBase {
 
 std::shared_ptr<const Network::CachedTree> Network::build_tree(
     NodeId from, const std::vector<NodeId>& members, McastScope scope) {
-    const auto t0 = std::chrono::steady_clock::now();
+    LBRM_TRACE_SPAN("tree_build");
+    std::chrono::steady_clock::time_point t0{};
+    if constexpr (obs::kTelemetryEnabled) t0 = std::chrono::steady_clock::now();
     const std::size_t n = node_count();
     auto tree = std::make_shared<CachedTree>();
 
@@ -990,9 +1084,13 @@ std::shared_ptr<const Network::CachedTree> Network::build_tree(
         tree->nodes.push_back(node);
     }
 
-    ++tree_builds_;
-    tree_build_seconds_ +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    tree_builds_->inc();
+    if constexpr (obs::kTelemetryEnabled) {
+        tree_build_ns_ += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    }
     return tree;
 }
 
@@ -1001,6 +1099,7 @@ void Network::multicast(NodeId from, const Packet& packet, McastScope scope) {
     if (node_down_[index(from)] != 0) return;
     const GroupRec* group = find_group(packet.header.group);
     if (group == nullptr) return;
+    multicast_sends_->inc();
 
     const std::uint64_t key = tree_key(packet.header.group, from);
     auto& by_scope = mcast_cache_[key];
@@ -1012,6 +1111,7 @@ void Network::multicast(NodeId from, const Packet& packet, McastScope scope) {
         ++cached_trees_;
         enforce_tree_cache_bound();  // never evicts the just-inserted head
     } else {
+        tree_cache_hits_->inc();
         tree_lru_.splice(tree_lru_.begin(), tree_lru_, slot.lru);
     }
     const std::shared_ptr<const CachedTree> tree = slot.tree;

@@ -63,6 +63,7 @@
 #include "common/stable_vector.hpp"
 #include "core/actions.hpp"
 #include "core/config.hpp"
+#include "obs/metrics.hpp"
 #include "packet/packet.hpp"
 #include "sim/link.hpp"
 #include "sim/simulator.hpp"
@@ -146,15 +147,27 @@ public:
     [[nodiscard]] std::size_t link_count() const { return links_.size(); }
     [[nodiscard]] Simulator& simulator() { return simulator_; }
 
+    /// The telemetry registry (created by the network unless SimConfig
+    /// supplied one).  All "sim.*" rows live here; protocol hosts bind their
+    /// "proto.*" / "host.*" rows to it at attach.
+    [[nodiscard]] obs::Metrics& metrics() { return *metrics_; }
+    /// Shared ownership, for exporters that outlive the network.
+    [[nodiscard]] std::shared_ptr<obs::Metrics> metrics_ptr() const { return metrics_; }
+
     /// Cached multicast delivery trees currently held (tests use this to
     /// observe cache hits, LRU eviction and invalidation).
     [[nodiscard]] std::size_t cached_tree_count() const { return cached_trees_; }
     /// Approximate heap bytes held by the cached trees (cache-bound sizing).
     [[nodiscard]] std::size_t tree_cache_bytes() const;
-    /// Lifetime count of delivery-tree constructions and the wall time they
-    /// took (the bench_burst_batching --groups cost breakdown).
-    [[nodiscard]] std::uint64_t tree_builds() const { return tree_builds_; }
-    [[nodiscard]] double tree_build_seconds() const { return tree_build_seconds_; }
+    /// Lifetime count of delivery-tree constructions (a view over the
+    /// registry's sim.tree_builds counter) and the wall time they took (a
+    /// plain member: wall time is nondeterministic, so it must never enter
+    /// the registry -- snapshots of identical runs are byte-identical).
+    /// Both read zero under LBRM_NO_TELEMETRY.
+    [[nodiscard]] std::uint64_t tree_builds() const { return tree_builds_->value(); }
+    [[nodiscard]] double tree_build_seconds() const {
+        return static_cast<double>(tree_build_ns_) * 1e-9;
+    }
     /// Re-bound the tree cache at runtime (evicts LRU down to the new cap).
     void set_tree_cache_capacity(std::size_t capacity);
 
@@ -189,6 +202,15 @@ public:
     /// Sum of a statistic across all links, filtered by a predicate.
     [[nodiscard]] std::uint64_t count_packets(
         PacketType type, const std::function<bool(const Link&)>& pred) const;
+
+    /// Network-wide drop totals split by cause: queue overflow (kQueue) vs
+    /// the link loss model (kLoss).  Summed over every link's LinkStats.
+    struct DropBreakdown {
+        std::uint64_t queue = 0;
+        std::uint64_t loss = 0;
+        [[nodiscard]] std::uint64_t total() const { return queue + loss; }
+    };
+    [[nodiscard]] DropBreakdown drop_breakdown() const;
 
     void reset_link_stats();
 
@@ -457,14 +479,29 @@ private:
     std::list<TreeRef> tree_lru_;  ///< most-recently-used first
     std::size_t tree_cache_capacity_;
     std::size_t cached_trees_ = 0;
-    std::uint64_t tree_builds_ = 0;
-    double tree_build_seconds_ = 0.0;
 
     /// build_tree scratch: node -> tree entry slot, generation-marked so a
     /// build never pays an O(n) clear.
     std::vector<std::uint32_t> tree_mark_;
     std::vector<std::uint32_t> tree_slot_;
     std::uint32_t tree_epoch_ = 0;
+
+    // --- telemetry (observation-only; never read by simulation logic) -----
+    /// Resolve every counter handle and register the "sim.*" pull gauges;
+    /// called once from the constructor.  ~Network removes the gauges (the
+    /// registry may outlive this network through metrics_ptr()).
+    void register_metrics();
+    std::shared_ptr<obs::Metrics> metrics_;
+    obs::Counter* unicast_sends_;      ///< sim.unicast_sends
+    obs::Counter* multicast_sends_;    ///< sim.multicast_sends
+    obs::Counter* deliveries_made_;    ///< sim.deliveries (deliver_local hits)
+    obs::Counter* tree_cache_hits_;    ///< sim.tree_cache_hits
+    obs::Counter* tree_builds_;            ///< sim.tree_builds
+    std::uint64_t tree_build_ns_ = 0;      ///< wall time; kept out of the registry
+    obs::Counter* path_cache_hits_;    ///< sim.path_cache_hits
+    obs::Counter* path_cache_misses_;  ///< sim.path_cache_misses
+    obs::Counter* batched_arrivals_;   ///< sim.batched_arrivals (FIFO-parked)
+    obs::Counter* batch_drains_;       ///< sim.batch_drains (drain firings)
 
     DeliveryBase* deliveries_ = nullptr;  ///< intrusive list of in-flight sends
     bool finalized_ = false;

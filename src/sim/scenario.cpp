@@ -11,7 +11,8 @@ DisScenario::DisScenario(ScenarioConfig config)
       observer_(config_.observer ? config_.observer
                                  : std::make_shared<RecordingObserver>()),
       recorder_(dynamic_cast<RecordingObserver*>(observer_.get())),
-      topology_(make_dis_topology(network_, config_.topology)) {
+      topology_(make_dis_topology(network_, config_.topology)),
+      sampler_(network_.metrics()) {
     network_.finalize();
     // Every logger copy made below inherits the stream's sequence anchor.
     config_.logger_defaults.initial_seq = config_.initial_seq;
@@ -302,6 +303,49 @@ std::size_t DisScenario::notice_count(NoticeKind kind) const {
     for (const NoticeRecord& r : recorder().notices())
         if (r.kind == kind) ++n;
     return n;
+}
+
+void DisScenario::start_sampling(Duration interval) {
+    if (interval <= Duration::zero())
+        throw std::invalid_argument("scenario: sampling interval must be positive");
+    if (!sample_series_added_) {
+        sample_series_added_ = true;
+        // The paper's health curves: delivered pps (Figure 8), heartbeat
+        // bandwidth (Figure 4), NACK/repair rate (Figure 5)...
+        sampler_.add_rate("proto.receiver.delivered");
+        sampler_.add_rate("proto.receiver.recovered");
+        sampler_.add_rate("proto.receiver.nacks_sent");
+        sampler_.add_rate("proto.sender.data_sent");
+        sampler_.add_rate("proto.sender.heartbeats_sent");
+        sampler_.add_rate("proto.logger.served_unicast");
+        sampler_.add_rate("proto.logger.served_multicast");
+        sampler_.add_rate("host.send.HEARTBEAT");
+        sampler_.add_rate("host.send.NACK");
+        sampler_.add_rate("sim.deliveries");
+        sampler_.add_rate("sim.drops_loss");
+        sampler_.add_rate("sim.drops_queue");
+        sampler_.add_level("sim.queue_pending");
+    }
+    // Bump the epoch so a tick already in the queue becomes a no-op instead
+    // of a second competing rescheduling chain.
+    ++sample_epoch_;
+    sample_interval_ = interval;
+    sampler_.set_interval(interval);
+    schedule_sample_tick();
+}
+
+void DisScenario::stop_sampling() {
+    ++sample_epoch_;  // orphan the in-flight tick event
+    sample_interval_ = Duration::zero();
+}
+
+void DisScenario::schedule_sample_tick() {
+    simulator_.schedule_in(
+        sample_interval_, [this, epoch = sample_epoch_] {
+            if (epoch != sample_epoch_) return;  // stopped or restarted
+            sampler_.tick(simulator_.now());
+            schedule_sample_tick();
+        });
 }
 
 void DisScenario::clear_records() { observer_->clear(); }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "obs/sampler.hpp"
 #include "sim/network.hpp"
 #include "sim/observer.hpp"
 #include "sim/sim_host.hpp"
@@ -110,6 +111,22 @@ public:
     [[nodiscard]] const DisTopology& topology() const { return topology_; }
     [[nodiscard]] const ScenarioConfig& config() const { return config_; }
 
+    // --- telemetry -------------------------------------------------------
+    /// The network's metrics registry ("sim.*", "proto.*", "host.*" rows).
+    [[nodiscard]] obs::Metrics& metrics() { return network_.metrics(); }
+    /// The time-series sampler driven by start_sampling(); empty until then.
+    [[nodiscard]] obs::Sampler& sampler() { return sampler_; }
+
+    /// Sample the default protocol-health series (delivered / heartbeats /
+    /// NACKs / retransmits / drops...) every `interval` of sim time via a
+    /// self-rescheduling simulator event.  The sampler only *reads*
+    /// counters, and its tick events interleave with protocol events
+    /// without reordering them, so sampling never changes simulation
+    /// results (telemetry_test asserts this).  Idempotent restart: calling
+    /// again just changes the interval.
+    void start_sampling(Duration interval);
+    void stop_sampling();
+
     [[nodiscard]] SenderCore& sender();
     [[nodiscard]] LoggerCore& primary_logger() { return *primary_core_; }
     [[nodiscard]] LoggerCore& secondary_logger(std::size_t site);
@@ -165,6 +182,12 @@ private:
     /// wiring), looked up by binary search.
     std::vector<std::pair<NodeId, ReceiverCore*>> receiver_cores_;
     std::vector<SimHost*> hosts_;
+
+    void schedule_sample_tick();
+    obs::Sampler sampler_;           ///< initialised over network_.metrics()
+    Duration sample_interval_{};     ///< zero = sampling off
+    std::uint64_t sample_epoch_ = 0; ///< invalidates in-flight tick events
+    bool sample_series_added_ = false;
 };
 
 }  // namespace lbrm::sim

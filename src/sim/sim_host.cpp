@@ -5,7 +5,9 @@
 namespace lbrm::sim {
 
 SimHost::SimHost(Network& network, Simulator& simulator, NodeId self)
-    : network_(network), simulator_(simulator), self_(self), protocol_(*this, *this) {}
+    : network_(network), simulator_(simulator), self_(self), protocol_(*this, *this) {
+    protocol_.bind_metrics(network.metrics());
+}
 
 void SimHost::deliver(TimePoint now, const Packet& packet) {
     protocol_.on_packet(now, packet);

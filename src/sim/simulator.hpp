@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/time.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 
 namespace lbrm::sim {
@@ -50,7 +51,10 @@ public:
     /// Run every event with timestamp <= deadline; the clock ends at
     /// `deadline` even if the queue drains early.
     void run_until(TimePoint deadline) {
-        while (!queue_.empty() && queue_.next_time() <= deadline) step();
+        if (!queue_.empty() && queue_.next_time() <= deadline) {
+            LBRM_TRACE_SPAN("event_drain");
+            while (!queue_.empty() && queue_.next_time() <= deadline) step();
+        }
         if (now_ < deadline) now_ = deadline;
     }
 
