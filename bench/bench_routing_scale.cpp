@@ -40,9 +40,17 @@
 //
 // Usage:
 //   bench_routing_scale [--json PATH] [--timestamp ISO8601] [--trace PATH]
-//                       [--sites N] [--receivers N]
+//                       [--repeat N] [--sites N] [--receivers N]
 //                       [--ab-sites N] [--ab-receivers N]
 //                       [--full-sites N] [--full-receivers N] [--skip-full]
+//                       [--full-only] [--full-name NAME]
+//                       [--full-dormant 0|1] [--active-per-site N]
+//
+// --repeat N reruns each finalize measurement N times and reports the
+// minimum (the least noisy estimator for wall time on a shared machine).
+// --full-only skips the routing phases and runs just the full-protocol
+// scenario -- with --full-sites/--full-receivers/--active-per-site this is
+// how the 10M-node memory-diet run is recorded (see BENCH_simcore.json).
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -200,6 +208,11 @@ int main(int argc, char** argv) {
     std::uint32_t mode_sites = 300;
     std::uint32_t mode_receivers = 346;  // 300 x (router + secondary + 346) + 5 = ~104k
     bool skip_full = false;
+    bool full_only = false;
+    bool full_dormant = true;
+    std::string full_name = "full_protocol";
+    std::uint32_t active_per_site = 0;
+    unsigned repeat = 1;
     for (int i = 1; i < argc; ++i) {
         auto next = [&](const char* flag) -> const char* {
             if (i + 1 >= argc) {
@@ -231,152 +244,199 @@ int main(int argc, char** argv) {
                 static_cast<std::uint32_t>(std::atoi(next("--mode-receivers")));
         else if (std::strcmp(argv[i], "--skip-full") == 0)
             skip_full = true;
+        else if (std::strcmp(argv[i], "--full-only") == 0)
+            full_only = true;
+        else if (std::strcmp(argv[i], "--full-name") == 0)
+            full_name = next("--full-name");
+        else if (std::strcmp(argv[i], "--full-dormant") == 0)
+            full_dormant = std::atoi(next("--full-dormant")) != 0;
+        else if (std::strcmp(argv[i], "--active-per-site") == 0)
+            active_per_site =
+                static_cast<std::uint32_t>(std::atoi(next("--active-per-site")));
+        else if (std::strcmp(argv[i], "--repeat") == 0) {
+            const int n = std::atoi(next("--repeat"));
+            repeat = n > 1 ? static_cast<unsigned>(n) : 1;
+        }
     }
+
+    // Min-of-N wall-time estimator: rerun `measure`, keep the run with the
+    // smallest finalize time (other fields are identical across runs -- the
+    // builds are deterministic).
+    const auto min_build = [&](auto&& measure) {
+        auto best = measure();
+        for (unsigned r = 1; r < repeat; ++r) {
+            auto again = measure();
+            if (again.finalize_seconds < best.finalize_seconds) best = again;
+        }
+        return best;
+    };
 
     std::vector<JsonMetric> metrics;
 
-    title("Hierarchical routing at scale: " + fmt_int(sites) + " sites x " +
-          fmt_int(receivers) + " receivers");
-    obs::TraceRecorder trace_rec;
-    trace_rec.install();
-    const BuildStats big = run_build(/*flat=*/false, sites, receivers,
-                                     /*send_traffic=*/true);
-    trace_rec.uninstall();
-    // The flat matrices would hold n^2 next-hop entries (4B) + n^2 link
-    // pointers (8B); computed analytically because at 100k nodes that is
-    // ~120 GB and cannot be allocated.
-    const double flat_bytes =
-        static_cast<double>(big.nodes) * static_cast<double>(big.nodes) * 12.0;
-    const double ratio = flat_bytes / static_cast<double>(big.table_bytes);
-    const double rss_mib = static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
+    if (!full_only) {
+        title("Hierarchical routing at scale: " + fmt_int(sites) + " sites x " +
+              fmt_int(receivers) + " receivers");
+        obs::TraceRecorder trace_rec;
+        trace_rec.install();
+        BuildStats big = run_build(/*flat=*/false, sites, receivers,
+                                   /*send_traffic=*/true);
+        trace_rec.uninstall();
+        // Only the first run is traced; extra --repeat runs refine the
+        // min-of-N finalize time.
+        for (unsigned r = 1; r < repeat; ++r) {
+            const BuildStats again = run_build(/*flat=*/false, sites, receivers,
+                                               /*send_traffic=*/true);
+            if (again.finalize_seconds < big.finalize_seconds) big = again;
+        }
+        // The flat matrices would hold n^2 next-hop entries (4B) + n^2 link
+        // pointers (8B); computed analytically because at 100k nodes that is
+        // ~120 GB and cannot be allocated.
+        const double flat_bytes =
+            static_cast<double>(big.nodes) * static_cast<double>(big.nodes) * 12.0;
+        const double ratio = flat_bytes / static_cast<double>(big.table_bytes);
+        const double rss_mib = static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
 
-    Table table({"nodes", "finalize s", "table MiB", "B/node", "flat MiB", "ratio"});
-    table.row({fmt_int(big.nodes), fmt(big.finalize_seconds, 3),
-               fmt(static_cast<double>(big.table_bytes) / (1024.0 * 1024.0), 1),
-               fmt(static_cast<double>(big.table_bytes) / static_cast<double>(big.nodes), 1),
-               fmt(flat_bytes / (1024.0 * 1024.0), 0), fmt(ratio, 0) + "x"});
-    note("");
-    note("delivered sanity: " + fmt_int(big.delivered) + " packets; peak RSS " +
-         fmt(rss_mib, 1) + " MiB");
+        Table table({"nodes", "finalize s", "table MiB", "B/node", "flat MiB", "ratio"});
+        table.row({fmt_int(big.nodes), fmt(big.finalize_seconds, 3),
+                   fmt(static_cast<double>(big.table_bytes) / (1024.0 * 1024.0), 1),
+                   fmt(static_cast<double>(big.table_bytes) / static_cast<double>(big.nodes), 1),
+                   fmt(flat_bytes / (1024.0 * 1024.0), 0), fmt(ratio, 0) + "x"});
+        note("");
+        note("delivered sanity: " + fmt_int(big.delivered) + " packets; peak RSS " +
+             fmt(rss_mib, 1) + " MiB");
 
-    metrics.push_back({"routing_scale", "nodes",
-                       static_cast<double>(big.nodes), timestamp});
-    metrics.push_back(
-        {"routing_scale", "finalize_seconds_hier", big.finalize_seconds, timestamp});
-    metrics.push_back({"routing_scale", "routing_table_bytes_hier",
-                       static_cast<double>(big.table_bytes), timestamp});
-    metrics.push_back({"routing_scale", "routing_table_bytes_per_node",
-                       static_cast<double>(big.table_bytes) /
-                           static_cast<double>(big.nodes),
-                       timestamp});
-    metrics.push_back(
-        {"routing_scale", "routing_table_bytes_flat_computed", flat_bytes, timestamp});
-    metrics.push_back({"routing_scale", "flat_to_hier_memory_ratio", ratio, timestamp});
-    metrics.push_back({"routing_scale", "peak_rss_bytes",
-                       static_cast<double>(peak_rss_bytes()), timestamp});
-
-    if (obs::kTelemetryEnabled) {
-        const double coverage = finalize_span_coverage(trace_rec);
-        const bool wrote = trace_rec.write_chrome_json(trace_path);
-        note("finalize trace: " + fmt_int(trace_rec.spans().size()) + " spans (" +
-             fmt_int(trace_rec.dropped()) + " dropped), phase coverage " +
-             fmt(100.0 * coverage, 1) + "%" +
-             (wrote ? ", written to " + trace_path : " (trace write FAILED)"));
+        metrics.push_back({"routing_scale", "nodes",
+                           static_cast<double>(big.nodes), timestamp});
         metrics.push_back(
-            {"routing_scale", "finalize_trace_coverage", coverage, timestamp});
-        if (coverage < 0.90) {
-            note("ERROR: finalize phase spans cover < 90% of finalize wall time");
+            {"routing_scale", "finalize_seconds_hier", big.finalize_seconds, timestamp});
+        metrics.push_back({"routing_scale", "routing_table_bytes_hier",
+                           static_cast<double>(big.table_bytes), timestamp});
+        metrics.push_back({"routing_scale", "routing_table_bytes_per_node",
+                           static_cast<double>(big.table_bytes) /
+                               static_cast<double>(big.nodes),
+                           timestamp});
+        metrics.push_back(
+            {"routing_scale", "routing_table_bytes_flat_computed", flat_bytes, timestamp});
+        metrics.push_back({"routing_scale", "flat_to_hier_memory_ratio", ratio, timestamp});
+        metrics.push_back({"routing_scale", "peak_rss_bytes",
+                           static_cast<double>(peak_rss_bytes()), timestamp});
+
+        if (obs::kTelemetryEnabled) {
+            const double coverage = finalize_span_coverage(trace_rec);
+            const bool wrote = trace_rec.write_chrome_json(trace_path);
+            note("finalize trace: " + fmt_int(trace_rec.spans().size()) + " spans (" +
+                 fmt_int(trace_rec.dropped()) + " dropped), phase coverage " +
+                 fmt(100.0 * coverage, 1) + "%" +
+                 (wrote ? ", written to " + trace_path : " (trace write FAILED)"));
+            metrics.push_back(
+                {"routing_scale", "finalize_trace_coverage", coverage, timestamp});
+            if (coverage < 0.90) {
+                note("ERROR: finalize phase spans cover < 90% of finalize wall time");
+                return 1;
+            }
+        } else {
+            note("finalize trace: telemetry compiled out (LBRM_NO_TELEMETRY); skipped");
+        }
+
+        title("Finalize modes: serial vs parallel vs lazy at " + fmt_int(mode_sites) +
+              " sites x " + fmt_int(mode_receivers) + " receivers");
+        const ModeStats serial = min_build(
+            [&] { return run_mode(SimFinalizeMode::kSerial, 0, mode_sites, mode_receivers); });
+        const ModeStats parallel = min_build(
+            [&] { return run_mode(SimFinalizeMode::kParallel, 0, mode_sites, mode_receivers); });
+        const ModeStats lazy = min_build(
+            [&] { return run_mode(SimFinalizeMode::kLazy, 0, mode_sites, mode_receivers); });
+        Table modes({"mode", "finalize s", "rows built", "table MiB"});
+        auto mode_row = [&](const char* name, const ModeStats& m) {
+            modes.row({name, fmt(m.finalize_seconds, 3), fmt_int(m.rows_built),
+                       fmt(static_cast<double>(m.table_bytes) / (1024.0 * 1024.0), 1)});
+        };
+        mode_row("serial", serial);
+        mode_row("parallel", parallel);
+        mode_row("lazy", lazy);
+        const double best =
+            parallel.finalize_seconds < lazy.finalize_seconds ? parallel.finalize_seconds
+                                                              : lazy.finalize_seconds;
+        const double speedup = serial.finalize_seconds / best;
+        note("");
+        note("best non-serial mode is " + fmt(speedup, 1) + "x faster than serial");
+
+        metrics.push_back({"finalize_modes", "nodes",
+                           static_cast<double>(serial.nodes), timestamp});
+        metrics.push_back({"finalize_modes", "finalize_seconds_serial",
+                           serial.finalize_seconds, timestamp});
+        metrics.push_back({"finalize_modes", "finalize_seconds_parallel",
+                           parallel.finalize_seconds, timestamp});
+        metrics.push_back(
+            {"finalize_modes", "finalize_seconds_lazy", lazy.finalize_seconds, timestamp});
+        metrics.push_back({"finalize_modes", "rows_built_serial",
+                           static_cast<double>(serial.rows_built), timestamp});
+        metrics.push_back({"finalize_modes", "rows_built_lazy",
+                           static_cast<double>(lazy.rows_built), timestamp});
+        metrics.push_back({"finalize_modes", "best_mode_speedup", speedup, timestamp});
+
+        title("Build-mode hash A/B: " + fmt_int(ab_sites) + " sites x " +
+              fmt_int(ab_receivers) + " receivers");
+        const std::uint64_t h_serial =
+            mode_hash(SimFinalizeMode::kSerial, 0, ab_sites, ab_receivers);
+        const std::uint64_t h_parallel =
+            mode_hash(SimFinalizeMode::kParallel, 2, ab_sites, ab_receivers);
+        const std::uint64_t h_lazy =
+            mode_hash(SimFinalizeMode::kLazy, 0, ab_sites, ab_receivers);
+        const bool hashes_equal = h_serial == h_parallel && h_serial == h_lazy;
+        note(std::string("table hashes ") + (hashes_equal ? "match" : "DIFFER") +
+             " across serial/parallel/lazy");
+        if (!hashes_equal) return 1;
+        metrics.push_back(
+            {"finalize_modes", "mode_hashes_equal", hashes_equal ? 1.0 : 0.0, timestamp});
+
+        title("Flat vs hierarchical A/B: " + fmt_int(ab_sites) + " sites x " +
+              fmt_int(ab_receivers) + " receivers");
+        const BuildStats hier = min_build([&] {
+            return run_build(/*flat=*/false, ab_sites, ab_receivers,
+                             /*send_traffic=*/true);
+        });
+        const BuildStats flat = min_build([&] {
+            return run_build(/*flat=*/true, ab_sites, ab_receivers,
+                             /*send_traffic=*/true);
+        });
+        Table ab({"scheme", "nodes", "finalize s", "table MiB", "delivered"});
+        ab.row({"hier", fmt_int(hier.nodes), fmt(hier.finalize_seconds, 3),
+                fmt(static_cast<double>(hier.table_bytes) / (1024.0 * 1024.0), 1),
+                fmt_int(hier.delivered)});
+        ab.row({"flat", fmt_int(flat.nodes), fmt(flat.finalize_seconds, 3),
+                fmt(static_cast<double>(flat.table_bytes) / (1024.0 * 1024.0), 1),
+                fmt_int(flat.delivered)});
+        if (hier.delivered != flat.delivered) {
+            note("ERROR: schemes delivered different packet counts");
             return 1;
         }
-    } else {
-        note("finalize trace: telemetry compiled out (LBRM_NO_TELEMETRY); skipped");
-    }
 
-    title("Finalize modes: serial vs parallel vs lazy at " + fmt_int(mode_sites) +
-          " sites x " + fmt_int(mode_receivers) + " receivers");
-    const ModeStats serial =
-        run_mode(SimFinalizeMode::kSerial, 0, mode_sites, mode_receivers);
-    const ModeStats parallel =
-        run_mode(SimFinalizeMode::kParallel, 0, mode_sites, mode_receivers);
-    const ModeStats lazy = run_mode(SimFinalizeMode::kLazy, 0, mode_sites, mode_receivers);
-    Table modes({"mode", "finalize s", "rows built", "table MiB"});
-    auto mode_row = [&](const char* name, const ModeStats& m) {
-        modes.row({name, fmt(m.finalize_seconds, 3), fmt_int(m.rows_built),
-                   fmt(static_cast<double>(m.table_bytes) / (1024.0 * 1024.0), 1)});
-    };
-    mode_row("serial", serial);
-    mode_row("parallel", parallel);
-    mode_row("lazy", lazy);
-    const double best =
-        parallel.finalize_seconds < lazy.finalize_seconds ? parallel.finalize_seconds
-                                                          : lazy.finalize_seconds;
-    const double speedup = serial.finalize_seconds / best;
-    note("");
-    note("best non-serial mode is " + fmt(speedup, 1) + "x faster than serial");
+        metrics.push_back(
+            {"routing_ab", "finalize_seconds_hier", hier.finalize_seconds, timestamp});
+        metrics.push_back(
+            {"routing_ab", "finalize_seconds_flat", flat.finalize_seconds, timestamp});
+        metrics.push_back({"routing_ab", "routing_table_bytes_hier",
+                           static_cast<double>(hier.table_bytes), timestamp});
+        metrics.push_back({"routing_ab", "routing_table_bytes_flat",
+                           static_cast<double>(flat.table_bytes), timestamp});
 
-    metrics.push_back({"finalize_modes", "nodes",
-                       static_cast<double>(serial.nodes), timestamp});
-    metrics.push_back({"finalize_modes", "finalize_seconds_serial",
-                       serial.finalize_seconds, timestamp});
-    metrics.push_back({"finalize_modes", "finalize_seconds_parallel",
-                       parallel.finalize_seconds, timestamp});
-    metrics.push_back(
-        {"finalize_modes", "finalize_seconds_lazy", lazy.finalize_seconds, timestamp});
-    metrics.push_back({"finalize_modes", "rows_built_serial",
-                       static_cast<double>(serial.rows_built), timestamp});
-    metrics.push_back({"finalize_modes", "rows_built_lazy",
-                       static_cast<double>(lazy.rows_built), timestamp});
-    metrics.push_back({"finalize_modes", "best_mode_speedup", speedup, timestamp});
+    }  // --full-only skips the routing phases
 
-    title("Build-mode hash A/B: " + fmt_int(ab_sites) + " sites x " +
-          fmt_int(ab_receivers) + " receivers");
-    const std::uint64_t h_serial =
-        mode_hash(SimFinalizeMode::kSerial, 0, ab_sites, ab_receivers);
-    const std::uint64_t h_parallel =
-        mode_hash(SimFinalizeMode::kParallel, 2, ab_sites, ab_receivers);
-    const std::uint64_t h_lazy =
-        mode_hash(SimFinalizeMode::kLazy, 0, ab_sites, ab_receivers);
-    const bool hashes_equal = h_serial == h_parallel && h_serial == h_lazy;
-    note(std::string("table hashes ") + (hashes_equal ? "match" : "DIFFER") +
-         " across serial/parallel/lazy");
-    if (!hashes_equal) return 1;
-    metrics.push_back(
-        {"finalize_modes", "mode_hashes_equal", hashes_equal ? 1.0 : 0.0, timestamp});
-
-    title("Flat vs hierarchical A/B: " + fmt_int(ab_sites) + " sites x " +
-          fmt_int(ab_receivers) + " receivers");
-    const BuildStats hier = run_build(/*flat=*/false, ab_sites, ab_receivers,
-                                      /*send_traffic=*/true);
-    const BuildStats flat = run_build(/*flat=*/true, ab_sites, ab_receivers,
-                                      /*send_traffic=*/true);
-    Table ab({"scheme", "nodes", "finalize s", "table MiB", "delivered"});
-    ab.row({"hier", fmt_int(hier.nodes), fmt(hier.finalize_seconds, 3),
-            fmt(static_cast<double>(hier.table_bytes) / (1024.0 * 1024.0), 1),
-            fmt_int(hier.delivered)});
-    ab.row({"flat", fmt_int(flat.nodes), fmt(flat.finalize_seconds, 3),
-            fmt(static_cast<double>(flat.table_bytes) / (1024.0 * 1024.0), 1),
-            fmt_int(flat.delivered)});
-    if (hier.delivered != flat.delivered) {
-        note("ERROR: schemes delivered different packet counts");
-        return 1;
-    }
-
-    metrics.push_back(
-        {"routing_ab", "finalize_seconds_hier", hier.finalize_seconds, timestamp});
-    metrics.push_back(
-        {"routing_ab", "finalize_seconds_flat", flat.finalize_seconds, timestamp});
-    metrics.push_back({"routing_ab", "routing_table_bytes_hier",
-                       static_cast<double>(hier.table_bytes), timestamp});
-    metrics.push_back({"routing_ab", "routing_table_bytes_flat",
-                       static_cast<double>(flat.table_bytes), timestamp});
-
-    if (!skip_full) {
+    if (!skip_full || full_only) {
         title("Full protocol at scale: " + fmt_int(full_sites) + " sites x " +
-              fmt_int(full_receivers) + " receivers (lazy finalize, counting observer)");
+              fmt_int(full_receivers) + " receivers (lazy finalize, counting observer" +
+              (full_dormant ? ", dormant receivers" : "") +
+              (active_per_site != 0
+                   ? ", " + fmt_int(active_per_site) + " active/site"
+                   : "") +
+              ")");
         ScenarioConfig cfg;
         cfg.topology = scale_spec(full_sites, full_receivers);
         cfg.sim.finalize_mode = SimFinalizeMode::kLazy;
         cfg.sim.path_cache_capacity = 1u << 16;
+        cfg.dormant_receivers = full_dormant;
+        cfg.active_receivers_per_site = active_per_site;
         auto counter = std::make_shared<CountingObserver>();
         cfg.observer = counter;
 
@@ -405,25 +465,35 @@ int main(int argc, char** argv) {
                   fmt_int(scenario.network().site_rows_built()),
                   fmt(rss / (1024.0 * 1024.0), 0),
                   fmt(rss / static_cast<double>(nodes), 0)});
+        const double delivered_pps =
+            traffic_seconds > 0.0
+                ? static_cast<double>(counter->deliveries()) / traffic_seconds
+                : 0.0;
         note("");
         note("receivers with all 3 updates: " +
              fmt_int(counter->nodes_with_at_least(3)) + " of " +
              fmt_int(static_cast<std::size_t>(full_sites) * full_receivers));
+        if (full_dormant)
+            note("dormant receivers remaining: " +
+                 fmt_int(scenario.dormant_receiver_count()));
+        note("delivered pps (wall): " + fmt(delivered_pps, 0));
         if (counter->deliveries() == 0) {
             note("ERROR: full-protocol run delivered nothing");
             return 1;
         }
 
         metrics.push_back(
-            {"full_protocol", "nodes", static_cast<double>(nodes), timestamp});
+            {full_name, "nodes", static_cast<double>(nodes), timestamp});
         metrics.push_back(
-            {"full_protocol", "build_seconds", build_seconds, timestamp});
+            {full_name, "build_seconds", build_seconds, timestamp});
         metrics.push_back(
-            {"full_protocol", "traffic_seconds", traffic_seconds, timestamp});
-        metrics.push_back({"full_protocol", "deliveries",
+            {full_name, "traffic_seconds", traffic_seconds, timestamp});
+        metrics.push_back({full_name, "deliveries",
                            static_cast<double>(counter->deliveries()), timestamp});
-        metrics.push_back({"full_protocol", "peak_rss_bytes", rss, timestamp});
-        metrics.push_back({"full_protocol", "rss_bytes_per_node",
+        metrics.push_back(
+            {full_name, "delivered_packets_per_sec", delivered_pps, timestamp});
+        metrics.push_back({full_name, "peak_rss_bytes", rss, timestamp});
+        metrics.push_back({full_name, "rss_bytes_per_node",
                            rss / static_cast<double>(nodes), timestamp});
     }
 

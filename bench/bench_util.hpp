@@ -98,12 +98,15 @@ inline std::string json_metric_line(const JsonMetric& m) {
 
 /// Write `metrics` to `path` as a JSON array (e.g. BENCH_simcore.json),
 /// merging with the file's existing entries: an existing entry survives
-/// unless a new metric has the same ("name", "metric") pair — so different
-/// bench binaries can share one trajectory file without clobbering each
-/// other.  Returns false (and prints a note) if the file cannot be opened.
+/// unless a new metric has the same ("name", "metric", "timestamp") triple.
+/// Re-running a bench with a fresh timestamp therefore *appends* a row,
+/// preserving the perf trajectory across PRs; re-running with the same
+/// timestamp overwrites in place (idempotent CI retries).  Returns false
+/// (and prints a note) if the file cannot be opened.
 inline bool write_bench_json(const std::string& path, const std::vector<JsonMetric>& metrics) {
     // Entries this file writes one per line, so merge at line granularity:
-    // keep prior lines whose ("name", "metric") pair is not being rewritten.
+    // keep prior lines whose ("name", "metric", "timestamp") triple is not
+    // being rewritten.
     std::vector<std::string> kept;
     if (std::FILE* in = std::fopen(path.c_str(), "r")) {
         char line[512];
@@ -113,7 +116,9 @@ inline bool write_bench_json(const std::string& path, const std::vector<JsonMetr
             const bool replaced = std::any_of(
                 metrics.begin(), metrics.end(), [&](const JsonMetric& m) {
                     return s.find("\"name\": \"" + m.name + "\"") != std::string::npos &&
-                           s.find("\"metric\": \"" + m.metric + "\"") != std::string::npos;
+                           s.find("\"metric\": \"" + m.metric + "\"") != std::string::npos &&
+                           s.find("\"timestamp\": \"" + m.timestamp + "\"") !=
+                               std::string::npos;
                 });
             if (replaced) continue;
             while (!s.empty() && (s.back() == '\n' || s.back() == ',' || s.back() == ' '))

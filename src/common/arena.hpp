@@ -1,0 +1,92 @@
+// BumpArena: a chunked, burst-scoped bump allocator.
+//
+// allocate() hands out raw storage by bumping an offset through a list of
+// fixed-size chunks; reset() rewinds to the first chunk without releasing
+// any memory.  The intended pattern (Network's in-flight delivery records)
+// is burst-scoped: records are bump-allocated while a traffic burst is in
+// flight, individually destroyed (destructor only, no free), and the whole
+// arena is reset once the burst drains.  After the first burst the
+// allocator is cold on the hot path -- steady-state traffic recycles the
+// same chunks with zero malloc/free churn -- and memory high-water is the
+// largest number of *concurrent* records, not the total ever allocated.
+//
+// Not thread-safe; alignment is capped at alignof(std::max_align_t) (chunk
+// storage comes from operator new[]).  Oversized requests get a dedicated
+// chunk of exactly the requested size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace lbrm {
+
+class BumpArena {
+public:
+    explicit BumpArena(std::size_t chunk_bytes = 64 * 1024)
+        : chunk_bytes_(chunk_bytes) {}
+
+    BumpArena(const BumpArena&) = delete;
+    BumpArena& operator=(const BumpArena&) = delete;
+
+    /// Raw storage for `size` bytes at `align` (<= max_align_t).  The
+    /// storage stays valid until reset() or destruction; there is no
+    /// per-allocation free -- run the object's destructor and let reset()
+    /// reclaim the bytes.
+    void* allocate(std::size_t size, std::size_t align) {
+        for (;;) {
+            if (chunk_ < chunks_.size()) {
+                const Chunk& c = chunks_[chunk_];
+                const auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+                const std::uintptr_t aligned =
+                    (base + offset_ + (align - 1)) &
+                    ~static_cast<std::uintptr_t>(align - 1);
+                if (aligned + size <= base + c.size) {
+                    offset_ = (aligned - base) + size;
+                    return reinterpret_cast<void*>(aligned);
+                }
+                ++chunk_;  // this chunk is full (or too small): move on
+                offset_ = 0;
+                continue;
+            }
+            // Out of retained chunks: grow.  Oversized requests get their
+            // own exact-size chunk (plus alignment slack) so a single big
+            // record never forces the default chunk size up.
+            const std::size_t want =
+                size + align > chunk_bytes_ ? size + align : chunk_bytes_;
+            chunks_.push_back(
+                Chunk{std::unique_ptr<std::byte[]>(new std::byte[want]), want});
+            offset_ = 0;
+        }
+    }
+
+    /// Rewind to empty, retaining every chunk for reuse.  Only call when no
+    /// live object still points into the arena (the burst has drained).
+    void reset() {
+        chunk_ = 0;
+        offset_ = 0;
+    }
+
+    // --- introspection (tests, memory accounting) -----------------------
+    [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+    [[nodiscard]] std::size_t retained_bytes() const {
+        std::size_t total = 0;
+        for (const Chunk& c : chunks_) total += c.size;
+        return total;
+    }
+    [[nodiscard]] std::size_t default_chunk_bytes() const { return chunk_bytes_; }
+
+private:
+    struct Chunk {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size;
+    };
+    std::vector<Chunk> chunks_;
+    std::size_t chunk_ = 0;   ///< index of the chunk currently bumped
+    std::size_t offset_ = 0;  ///< bump offset within that chunk
+    std::size_t chunk_bytes_;
+};
+
+}  // namespace lbrm

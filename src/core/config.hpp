@@ -59,6 +59,20 @@ struct SimConfig {
     /// Worker-pool width for kParallel; 0 = std::thread::hardware_concurrency.
     unsigned finalize_threads = 0;
 
+    /// Batch same-time multicast fan-out: consecutive tree children whose
+    /// copies arrive at the same instant on idle links (a site router's LAN
+    /// fan-out) share one event instead of one each (DESIGN.md "Memory
+    /// engineering").  Bit-identical to the per-child path; the
+    /// LBRM_SIM_NO_DELIVERY_BATCH environment variable forces it off at
+    /// Network construction (A/B escape hatch).
+    bool delivery_batching = true;
+
+    /// Allocate in-flight delivery records from a burst-scoped bump arena
+    /// (reset when the burst drains) instead of the global heap.
+    /// Bit-identical; LBRM_SIM_NO_DELIVERY_ARENA forces it off at Network
+    /// construction (A/B escape hatch).
+    bool delivery_arena = true;
+
     /// Telemetry registry shared with the network (obs/metrics.hpp).  Null =
     /// the Network creates a private one; pass a registry to share it across
     /// networks or to read it after the network is gone.  Telemetry is

@@ -55,6 +55,25 @@ public:
         detector_.bind_metrics(pm.loss);
     }
 
+    // --- dormant-receiver support (runtime/protocol_host.hpp) ----------
+    /// The idle-watchdog delay start() arms before any packet is seen,
+    /// exposed so a dormant record can schedule the identical timer
+    /// without materialising the core.
+    [[nodiscard]] static Duration initial_idle_threshold(const ReceiverConfig& config) {
+        const Duration scaled = scale(config.heartbeat.h_min, config.idle_safety);
+        return scaled > config.max_idle ? scaled : config.max_idle;
+    }
+
+    /// Restore the post-start() flags on a freshly constructed core when a
+    /// dormant receiver wakes.  The constructor is pure and start() only
+    /// sets these two fields (plus discovery state, which dormant mode
+    /// excludes -- the logger is statically configured), so a woken core
+    /// is bit-identical to one that called start() and then idled.
+    void restore_started(bool fresh) {
+        started_ = true;
+        fresh_ = fresh;
+    }
+
 private:
     enum class RecoveryLevel : std::uint8_t {
         kLocal = 0,     ///< discovered/configured (secondary) logger

@@ -1,5 +1,7 @@
 #include "runtime/protocol_host.hpp"
 
+#include <stdexcept>
+
 namespace lbrm {
 
 SenderCore& ProtocolHost::add_sender(SenderConfig config, AppHandlers handlers) {
@@ -50,14 +52,90 @@ CoreBase& ProtocolHost::add_core(std::unique_ptr<CoreBase> core, AppHandlers han
                 .core;
 }
 
+void ProtocolHost::add_dormant_receiver(
+    std::shared_ptr<const DormantReceiverTemplate> tmpl, NodeId self, NodeId logger,
+    NodeId fallback_logger) {
+    if (logger == kNoNode)
+        throw std::invalid_argument(
+            "dormant receivers need a statically configured logger "
+            "(discovery sends probes at start)");
+    dormant_.push_back(
+        DormantReceiver{next_tag_++, self, logger, fallback_logger, true,
+                        std::move(tmpl)});
+}
+
+ProtocolHost::ReceiverSlot& ProtocolHost::wake_dormant(std::size_t i) {
+    DormantReceiver rec = std::move(dormant_[i]);
+    dormant_.erase(dormant_.begin() + static_cast<std::ptrdiff_t>(i));
+    ReceiverConfig config = rec.tmpl->config;
+    config.self = rec.self;
+    config.logger = rec.logger;
+    config.fallback_logger = rec.fallback;
+    AppHandlers handlers =
+        rec.tmpl->make_handlers ? rec.tmpl->make_handlers(rec.self) : AppHandlers{};
+    ReceiverSlot& slot =
+        receivers_.emplace_back(rec.tag, std::move(config), std::move(handlers));
+    // The constructor is pure; restore the two flags start() would have set
+    // (the idle watchdog it arms is armed at ProtocolHost::start, and fired
+    // timers are recorded in rec.fresh).
+    slot.core.restore_started(rec.fresh);
+    if (metrics_ != nullptr) slot.core.bind_metrics(*metrics_);
+    ++dormant_wakes_;
+    return slot;
+}
+
+ReceiverCore* ProtocolHost::receiver_for(NodeId self) {
+    for (auto& slot : receivers_)
+        if (slot.core.config().self == self) return &slot.core;
+    for (std::size_t i = 0; i < dormant_.size(); ++i)
+        if (dormant_[i].self == self) return &wake_dormant(i).core;
+    return nullptr;
+}
+
+void ProtocolHost::fire_dormant_watchdogs(TimePoint now) {
+    // Indexed loop on purpose: execute() only runs Notice actions here
+    // (no packets, no wakes), but an observer callback could in principle
+    // touch this host again, and an index survives reallocation where an
+    // iterator would not.
+    for (std::size_t i = 0; i < dormant_.size(); ++i) {
+        DormantReceiver& rec = dormant_[i];
+        if (!rec.fresh) continue;
+        if (started_at_ + ReceiverCore::initial_idle_threshold(rec.tmpl->config) > now)
+            continue;
+        // Mirror the on_timer kIdle branch for a dormant record: flip
+        // freshness, notify, no re-arm (see on_timer below).
+        rec.fresh = false;
+        Actions actions;
+        actions.push_back(Notice{NoticeKind::kFreshnessLost, 0});
+        const AppHandlers handlers = rec.tmpl->make_handlers
+                                         ? rec.tmpl->make_handlers(rec.self)
+                                         : AppHandlers{};
+        execute(now, rec.tag, handlers, std::move(actions));
+    }
+}
+
 std::size_t ProtocolHost::core_count() const {
-    return (sender_ ? 1u : 0u) + receivers_.size() + loggers_.size() + generics_.size();
+    return (sender_ ? 1u : 0u) + receivers_.size() + loggers_.size() +
+           generics_.size() + dormant_.size();
 }
 
 void ProtocolHost::start(TimePoint now) {
     if (sender_) execute(now, 0, sender_->handlers, sender_->core.start(now));
     for (auto& slot : receivers_)
         execute(now, slot.tag, slot.handlers, slot.core.start(now));
+    started_at_ = now;
+    if (!defer_dormant_watchdogs_) {
+        for (DormantReceiver& rec : dormant_) {
+            // Exactly what ReceiverCore::start() returns for a statically
+            // configured logger: one idle-watchdog StartTimer.  Handlers are
+            // not consulted for StartTimer, so the factory stays uncalled.
+            Actions actions;
+            actions.push_back(StartTimer{
+                {TimerKind::kIdle, 0},
+                now + ReceiverCore::initial_idle_threshold(rec.tmpl->config)});
+            execute(now, rec.tag, AppHandlers{}, std::move(actions));
+        }
+    }
     for (auto& slot : loggers_)
         execute(now, slot.tag, slot.handlers, slot.core.start(now));
     for (auto& slot : generics_)
@@ -71,6 +149,21 @@ void ProtocolHost::on_packet(TimePoint now, const Packet& packet) {
     if (sender_) execute(now, 0, sender_->handlers, sender_->core.on_packet(now, packet));
     for (auto& slot : receivers_)
         execute(now, slot.tag, slot.handlers, slot.core.on_packet(now, packet));
+    for (std::size_t i = 0; i < dormant_.size();) {
+        // A live idle core mutates nothing on a packet unless its group or
+        // retransmission channel matches (ReceiverCore::on_packet's filter)
+        // -- so matching packets wake the core, everything else is a no-op.
+        const ReceiverConfig& cfg = dormant_[i].tmpl->config;
+        const bool wakes = packet.header.group == cfg.group ||
+                           (cfg.retrans_channel != kNoGroup &&
+                            packet.header.group == cfg.retrans_channel);
+        if (!wakes) {
+            ++i;
+            continue;
+        }
+        ReceiverSlot& slot = wake_dormant(i);  // erases dormant_[i]
+        execute(now, slot.tag, slot.handlers, slot.core.on_packet(now, packet));
+    }
     for (auto& slot : loggers_)
         execute(now, slot.tag, slot.handlers, slot.core.on_packet(now, packet));
     for (auto& slot : generics_)
@@ -91,6 +184,22 @@ void ProtocolHost::on_timer(TimePoint now, std::uint32_t core_tag, TimerId id) {
             execute(now, slot.tag, slot.handlers, slot.core.on_timer(now, id));
             return;
         }
+    }
+    for (DormantReceiver& rec : dormant_) {
+        if (rec.tag != core_tag) continue;
+        // The only timer a dormant receiver owns is the idle watchdog armed
+        // at start().  Mirror ReceiverCore::on_timer's kIdle branch: flip
+        // freshness, notify, no re-arm.  The core stays dormant -- losing
+        // freshness accumulates no other state.
+        if (!rec.fresh) return;
+        rec.fresh = false;
+        Actions actions;
+        actions.push_back(Notice{NoticeKind::kFreshnessLost, 0});
+        const AppHandlers handlers = rec.tmpl->make_handlers
+                                         ? rec.tmpl->make_handlers(rec.self)
+                                         : AppHandlers{};
+        execute(now, core_tag, handlers, std::move(actions));
+        return;
     }
     for (auto& slot : loggers_) {
         if (slot.tag == core_tag) {

@@ -16,8 +16,10 @@
 // stay valid for the host's lifetime.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "common/stable_vector.hpp"
 #include "core/logger.hpp"
@@ -43,6 +45,59 @@ public:
                            AppHandlers handlers = {});
     /// Attach an arbitrary sans-IO core (baseline protocols).
     CoreBase& add_core(std::unique_ptr<CoreBase> core, AppHandlers handlers = {});
+
+    /// Shared blueprint for dormant receivers: the identity-independent
+    /// config (self/logger/fallback_logger are overridden per record) plus
+    /// a handler factory invoked only when a core actually wakes.  One
+    /// template is shared by every dormant receiver in a scenario.
+    struct DormantReceiverTemplate {
+        ReceiverConfig config;
+        std::function<AppHandlers(NodeId self)> make_handlers;
+    };
+
+    /// Attach a *dormant* receiver: a ~48-byte record instead of a full
+    /// ReceiverCore slot (DESIGN.md "Memory engineering").  Bit-identical
+    /// to add_receiver() on an idle group member because ReceiverCore's
+    /// constructor is pure, start() with a static logger only arms the
+    /// idle watchdog (replicated here via initial_idle_threshold), and
+    /// on_packet() mutates nothing unless the packet's group matches the
+    /// receiver's group or retransmission channel -- exactly the wake
+    /// predicate.  Requires a statically configured logger (discovery
+    /// would send probes at start); throws std::invalid_argument on
+    /// logger == kNoNode.  Dormant records process after live receivers
+    /// and before loggers on every host entry point.
+    void add_dormant_receiver(std::shared_ptr<const DormantReceiverTemplate> tmpl,
+                              NodeId self, NodeId logger,
+                              NodeId fallback_logger = kNoNode);
+
+    /// Opt out of arming one idle-watchdog timer per dormant record at
+    /// start().  At 10^7 dormant receivers those timers dominate RSS (a
+    /// slab closure plus a per-host timer-table allocation each); a
+    /// scenario whose dormant receivers share one deadline replaces them
+    /// with a single scheduled sweep that calls fire_dormant_watchdogs()
+    /// on every host.  The caller owns the obligation: without a sweep at
+    /// (or after) each record's deadline, freshness-lost notices for
+    /// never-woken receivers are simply lost.
+    void defer_dormant_watchdogs() { defer_dormant_watchdogs_ = true; }
+
+    /// Deferred-watchdog sweep: fire the freshness-lost notice for every
+    /// still-dormant record whose idle deadline (start time + the
+    /// template's initial_idle_threshold) has passed.  Mirrors the
+    /// per-record on_timer kIdle branch, in dormant-record order, so a
+    /// sweep at the shared deadline is trace-identical to the per-record
+    /// timers it replaces.  No-op for woken (erased) or stale records.
+    void fire_dormant_watchdogs(TimePoint now);
+
+    /// Receivers still dormant on this host (tests / introspection).
+    [[nodiscard]] std::size_t dormant_count() const { return dormant_.size(); }
+    /// Live receiver cores woken from dormancy so far (tests).
+    [[nodiscard]] std::uint64_t dormant_wakes() const { return dormant_wakes_; }
+
+    /// The live receiver core with the given self id, materialising it
+    /// from dormancy if needed (a pure wake: no actions run, so the
+    /// simulation is unaffected).  Null when this host has no such
+    /// receiver.
+    [[nodiscard]] ReceiverCore* receiver_for(NodeId self);
 
     /// Start every attached core (arms initial timers, begins probing...).
     void start(TimePoint now);
@@ -112,8 +167,24 @@ private:
             : tag(t), core(std::move(c)), handlers(std::move(h)) {}
     };
 
+    /// Dormant receiver: identity + freshness is all the state an idle,
+    /// statically-configured group member accumulates (see
+    /// add_dormant_receiver).  48 bytes vs ~1.3 kB for a ReceiverSlot.
+    struct DormantReceiver {
+        std::uint32_t tag;
+        NodeId self;
+        NodeId logger;
+        NodeId fallback;
+        bool fresh = true;
+        std::shared_ptr<const DormantReceiverTemplate> tmpl;
+    };
+
     void execute(TimePoint now, std::uint32_t tag, const AppHandlers& handlers,
                  Actions&& actions);
+
+    /// Materialise dormant_[i] into receivers_ (erases the record,
+    /// preserving the order of the remaining ones).  Runs no actions.
+    ReceiverSlot& wake_dormant(std::size_t i);
 
     NetworkService& network_;
     TimerService& timers_;
@@ -127,7 +198,11 @@ private:
     StableVector<ReceiverSlot> receivers_;
     StableVector<LoggerSlot> loggers_;
     StableVector<GenericSlot> generics_;
+    std::vector<DormantReceiver> dormant_;
+    std::uint64_t dormant_wakes_ = 0;
     std::uint32_t next_tag_ = 1;
+    bool defer_dormant_watchdogs_ = false;
+    TimePoint started_at_{};  ///< set by start(); anchors deferred sweeps
 };
 
 }  // namespace lbrm

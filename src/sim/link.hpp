@@ -1,6 +1,18 @@
-// A unidirectional network link with propagation delay, finite bandwidth
-// (serialization delay + FIFO queueing via a busy-until horizon), a
-// drop-tail queue bound, and a pluggable loss model.
+// A bidirectional cable holding two unidirectional links, each with
+// propagation delay, finite bandwidth (serialization delay + FIFO queueing
+// via a busy-until horizon), a drop-tail queue bound, and a pluggable loss
+// model.
+//
+// Memory layout (see DESIGN.md "Memory engineering"): a Cable owns the two
+// directed Link objects in place plus their *shared* spec, so the per-cable
+// footprint is one record instead of two ~250-byte directed links.  Each
+// Link keeps only the hot transmit state inline -- the busy horizon and two
+// pointers -- and lazily allocates a LinkCold block (stats, loss model,
+// pending-arrival FIFO, drain bookkeeping) on first use.  A 10M-node
+// topology has ~10M cables but only the few hundred thousand directions on
+// active paths ever pay for cold state.  Link addresses stay stable for the
+// network's lifetime (Cables live in a StableVector and never move), so
+// routing tables and cached trees keep raw Link* as before.
 //
 // Per-link, per-packet-type statistics feed the paper's bandwidth
 // arguments: the Section 2.2.2 experiments count exactly how many NACKs and
@@ -102,57 +114,57 @@ private:
     }
 };
 
+/// One parked arrival in a link's pending FIFO (drained by
+/// Network::drain_link).  Entries are PODs -- (delivery record, hop, kind)
+/// rather than a std::function -- so a parked burst costs 32 bytes per
+/// packet and zero allocation/indirection churn; Network::dispatch_arrival
+/// resumes them.
+struct PendingArrival {
+    TimePoint at;            ///< arrival time at the far end
+    std::uint64_t tiebreak;  ///< reserved event-queue tiebreak
+    void* delivery;          ///< Network delivery record (opaque here)
+    std::uint32_t hop;       ///< arriving node index
+    std::uint8_t kind;       ///< Network::ArrivalKind
+};
+
+/// Cold per-direction state: everything a directed link only needs once it
+/// has actually carried (or dropped, or parked) traffic.  Idle directions
+/// -- the overwhelming majority at 10M nodes -- never allocate this.
+struct LinkCold {
+    std::unique_ptr<LossModel> loss;
+    LinkStats stats;
+    /// Pending arrivals in FIFO order (arrival times are strictly
+    /// non-decreasing: the busy horizon only moves forward).  Flat ring:
+    /// head index + tail pushes, buffer reused once drained.
+    std::vector<PendingArrival> pending;
+    std::size_t head = 0;
+    std::uint32_t drain_slot = 0;
+    bool drain_armed = false;
+};
+
+struct Cable;
+
 class Link {
 public:
-    Link(NodeId from, NodeId to, LinkSpec spec) : from_(from), to_(to), spec_(spec) {}
+    Link(const Link&) = delete;
+    Link& operator=(const Link&) = delete;
+
+    using PendingArrival = sim::PendingArrival;
 
     /// Null means lossless -- the default costs no allocation per link, and
     /// transmit() skips the virtual call entirely (NoLoss draws no RNG, so
     /// the skip is bit-identical).
-    void set_loss_model(std::unique_ptr<LossModel> model) { loss_ = std::move(model); }
-
-    /// Re-spec this cable direction in place (Network::add_link over an
-    /// existing pair).  Live traffic state survives -- the busy horizon,
-    /// parked pending arrivals and the recurring-drain bookkeeping all
-    /// belong to packets already handed to the wire, which must complete
-    /// exactly as scheduled -- and accumulated stats are kept (it is the
-    /// same cable, re-provisioned).  The loss model resets to NoLoss, as
-    /// for a newly added link.
-    void respec(const LinkSpec& spec) {
-        spec_ = spec;
-        loss_.reset();
+    void set_loss_model(std::unique_ptr<LossModel> model) {
+        cold().loss = std::move(model);
     }
+    [[nodiscard]] bool has_loss_model() const { return cold_ && cold_->loss; }
 
     /// Account and time one packet handed to this link at `now`.
     /// Returns the arrival time at the far end, or std::nullopt if the
     /// packet was dropped (queue overflow or loss model; see file comment
     /// for the ordering and its accounting consequences).
     std::optional<TimePoint> transmit(Rng& rng, TimePoint now, std::size_t bytes,
-                                      PacketType type) {
-        Duration serialization = Duration::zero();
-        TimePoint depart = now;
-        if (spec_.bandwidth_bps > 0.0) {
-            serialization = secs(static_cast<double>(bytes) * 8.0 / spec_.bandwidth_bps);
-            const TimePoint start = busy_until_ > now ? busy_until_ : now;
-            if (spec_.max_queue_delay != Duration::zero() &&
-                start - now > spec_.max_queue_delay) {
-                ++stats_.drops_queue;
-                return std::nullopt;  // never entered the wire: no loss roll
-            }
-            depart = start + serialization;
-            busy_until_ = depart;  // lost packets still burn wire time
-        }
-
-        if (loss_ && loss_->drop(rng, now)) {
-            ++stats_.drops_loss;
-            return std::nullopt;
-        }
-
-        ++stats_.packets;
-        stats_.bytes += bytes;
-        stats_.count(type);
-        return depart + spec_.propagation;
-    }
+                                      PacketType type);
 
     /// True when a packet handed over at `now` would queue behind earlier
     /// traffic -- the condition under which the network batches its arrival
@@ -160,65 +172,141 @@ public:
     [[nodiscard]] bool busy(TimePoint now) const { return busy_until_ > now; }
 
     // --- pending-arrival FIFO (drained by Network::drain_link) ----------
-    // Entries are PODs -- (delivery record, hop, kind) rather than a
-    // std::function -- so a parked burst costs 32 bytes per packet and zero
-    // allocation/indirection churn; Network::dispatch_arrival resumes them.
-    struct PendingArrival {
-        TimePoint at;            ///< arrival time at the far end
-        std::uint64_t tiebreak;  ///< reserved event-queue tiebreak
-        void* delivery;          ///< Network delivery record (opaque here)
-        std::uint32_t hop;       ///< arriving node index
-        std::uint8_t kind;       ///< Network::ArrivalKind
-    };
-
     void push_pending(TimePoint at, std::uint64_t tiebreak, void* delivery,
                       std::uint32_t hop, std::uint8_t kind) {
-        pending_.push_back(PendingArrival{at, tiebreak, delivery, hop, kind});
+        cold().pending.push_back(PendingArrival{at, tiebreak, delivery, hop, kind});
     }
 
-    [[nodiscard]] bool has_pending() const { return head_ < pending_.size(); }
+    [[nodiscard]] bool has_pending() const {
+        return cold_ && cold_->head < cold_->pending.size();
+    }
 
     [[nodiscard]] const PendingArrival& front_pending() const {
-        return pending_[head_];
+        return cold_->pending[cold_->head];
     }
 
     PendingArrival pop_pending() {
-        PendingArrival out = pending_[head_++];
-        if (head_ == pending_.size()) {  // drained: reuse the buffer
-            pending_.clear();
-            head_ = 0;
+        LinkCold& c = *cold_;
+        PendingArrival out = c.pending[c.head++];
+        if (c.head == c.pending.size()) {  // drained: reuse the buffer
+            c.pending.clear();
+            c.head = 0;
         }
         return out;
     }
 
     /// Recurring drain-event slot handle (0 = not created yet) and whether
     /// the drain is currently armed.  Owned by the Network layer.
-    [[nodiscard]] std::uint32_t drain_slot() const { return drain_slot_; }
-    void set_drain_slot(std::uint32_t slot) { drain_slot_ = slot; }
-    [[nodiscard]] bool drain_armed() const { return drain_armed_; }
-    void set_drain_armed(bool armed) { drain_armed_ = armed; }
+    [[nodiscard]] std::uint32_t drain_slot() const {
+        return cold_ ? cold_->drain_slot : 0;
+    }
+    void set_drain_slot(std::uint32_t slot) { cold().drain_slot = slot; }
+    [[nodiscard]] bool drain_armed() const { return cold_ && cold_->drain_armed; }
+    void set_drain_armed(bool armed) { cold().drain_armed = armed; }
 
-    [[nodiscard]] NodeId from() const { return from_; }
-    [[nodiscard]] NodeId to() const { return to_; }
-    [[nodiscard]] const LinkSpec& spec() const { return spec_; }
-    [[nodiscard]] const LinkStats& stats() const { return stats_; }
-    void reset_stats() { stats_ = LinkStats{}; }
+    [[nodiscard]] NodeId from() const;
+    [[nodiscard]] NodeId to() const;
+    [[nodiscard]] const LinkSpec& spec() const;
+    [[nodiscard]] Cable& cable() { return *cable_; }
+    [[nodiscard]] const Cable& cable() const { return *cable_; }
+
+    /// Stats read through the cold block; an idle direction reads a shared
+    /// all-zero instance without allocating.
+    [[nodiscard]] const LinkStats& stats() const {
+        return cold_ ? cold_->stats : kZeroStats;
+    }
+    void reset_stats() {
+        if (cold_) cold_->stats = LinkStats{};
+    }
 
 private:
-    NodeId from_;
-    NodeId to_;
-    LinkSpec spec_;
-    std::unique_ptr<LossModel> loss_;
-    TimePoint busy_until_ = time_zero();
-    LinkStats stats_;
+    friend struct Cable;
+    Link() = default;
 
-    /// Pending arrivals in FIFO order (arrival times are strictly
-    /// non-decreasing: the busy horizon only moves forward).  Flat ring:
-    /// head index + tail pushes, buffer reused once drained.
-    std::vector<PendingArrival> pending_;
-    std::size_t head_ = 0;
-    std::uint32_t drain_slot_ = 0;
-    bool drain_armed_ = false;
+    [[nodiscard]] LinkCold& cold() {
+        if (!cold_) cold_ = std::make_unique<LinkCold>();
+        return *cold_;
+    }
+
+    inline static const LinkStats kZeroStats{};
+
+    Cable* cable_ = nullptr;  ///< set once by Cable's constructor
+    TimePoint busy_until_ = time_zero();
+    std::unique_ptr<LinkCold> cold_;
 };
+
+/// One bidirectional cable: endpoints, the shared spec, and the two
+/// directed links in place.  Network::add_link always installs both
+/// directions with one spec and respec() re-provisions both, so sharing
+/// the spec is exact.  Non-movable: the directed links point back at their
+/// cable (they live in a StableVector, which never moves elements).
+struct Cable {
+    Cable(NodeId a_, NodeId b_, const LinkSpec& spec_) : a(a_), b(b_), spec(spec_) {
+        dir[0].cable_ = this;  // a -> b
+        dir[1].cable_ = this;  // b -> a
+    }
+    Cable(const Cable&) = delete;
+    Cable& operator=(const Cable&) = delete;
+
+    /// Re-spec this cable in place (Network::add_link over an existing
+    /// pair).  Live traffic state survives -- the busy horizons, parked
+    /// pending arrivals and the recurring-drain bookkeeping all belong to
+    /// packets already handed to the wire, which must complete exactly as
+    /// scheduled -- and accumulated stats are kept (it is the same cable,
+    /// re-provisioned).  CAUTION: any installed loss model resets to
+    /// NoLoss, as for a newly added link; lossy-rewire scenarios must call
+    /// Network::set_loss again afterwards.  Returns how many directions had
+    /// a loss model discarded (0..2) -- Network feeds the count into the
+    /// `network.respec_loss_resets` counter so such scenarios can detect
+    /// the silent reset.
+    unsigned respec(const LinkSpec& new_spec) {
+        spec = new_spec;
+        unsigned resets = 0;
+        for (Link& l : dir) {
+            if (l.has_loss_model()) {
+                l.cold_->loss.reset();
+                ++resets;
+            }
+        }
+        return resets;
+    }
+
+    NodeId a;
+    NodeId b;
+    LinkSpec spec;
+    Link dir[2];  ///< dir[0] = a -> b, dir[1] = b -> a
+};
+
+inline NodeId Link::from() const { return this == &cable_->dir[0] ? cable_->a : cable_->b; }
+inline NodeId Link::to() const { return this == &cable_->dir[0] ? cable_->b : cable_->a; }
+inline const LinkSpec& Link::spec() const { return cable_->spec; }
+
+inline std::optional<TimePoint> Link::transmit(Rng& rng, TimePoint now,
+                                               std::size_t bytes, PacketType type) {
+    LinkCold& c = cold();  // transmit always accounts: materialise cold state
+    const LinkSpec& s = cable_->spec;
+    Duration serialization = Duration::zero();
+    TimePoint depart = now;
+    if (s.bandwidth_bps > 0.0) {
+        serialization = secs(static_cast<double>(bytes) * 8.0 / s.bandwidth_bps);
+        const TimePoint start = busy_until_ > now ? busy_until_ : now;
+        if (s.max_queue_delay != Duration::zero() && start - now > s.max_queue_delay) {
+            ++c.stats.drops_queue;
+            return std::nullopt;  // never entered the wire: no loss roll
+        }
+        depart = start + serialization;
+        busy_until_ = depart;  // lost packets still burn wire time
+    }
+
+    if (c.loss && c.loss->drop(rng, now)) {
+        ++c.stats.drops_loss;
+        return std::nullopt;
+    }
+
+    ++c.stats.packets;
+    c.stats.bytes += bytes;
+    c.stats.count(type);
+    return depart + s.propagation;
+}
 
 }  // namespace lbrm::sim

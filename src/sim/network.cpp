@@ -74,7 +74,11 @@ Network::Network(Simulator& simulator, std::uint64_t seed, SimConfig config)
       metrics_(config.metrics ? config.metrics : std::make_shared<obs::Metrics>()),
       flat_routes_requested_(config.flat_routes ||
                              std::getenv("LBRM_SIM_FLAT_ROUTES") != nullptr),
-      batching_enabled_(std::getenv("LBRM_SIM_NO_BATCH") == nullptr) {
+      batching_enabled_(std::getenv("LBRM_SIM_NO_BATCH") == nullptr),
+      delivery_batching_(config.delivery_batching &&
+                         std::getenv("LBRM_SIM_NO_DELIVERY_BATCH") == nullptr),
+      arena_enabled_(config.delivery_arena &&
+                     std::getenv("LBRM_SIM_NO_DELIVERY_ARENA") == nullptr) {
     register_metrics();
 }
 
@@ -94,6 +98,8 @@ void Network::register_metrics() {
     path_cache_misses_ = &m.counter("sim.path_cache_misses");
     batched_arrivals_ = &m.counter("sim.batched_arrivals");
     batch_drains_ = &m.counter("sim.batch_drains");
+    batched_runs_ = &m.counter("sim.batched_delivery_runs");
+    respec_loss_resets_ = &m.counter("network.respec_loss_resets");
 
     // Pull gauges: evaluated at snapshot time only, so none of these touch
     // the hot path.  When several networks share one registry the most
@@ -112,12 +118,14 @@ void Network::register_metrics() {
     m.gauge_fn("sim.drops_loss", [this] { return drop_breakdown().loss; });
     m.gauge_fn("sim.link_packets", [this] {
         std::uint64_t total = 0;
-        for (const Link& l : links_) total += l.stats().packets;
+        for (const Cable& c : cables_)
+            for (const Link& l : c.dir) total += l.stats().packets;
         return total;
     });
     m.gauge_fn("sim.link_bytes", [this] {
         std::uint64_t total = 0;
-        for (const Link& l : links_) total += l.stats().bytes;
+        for (const Cable& c : cables_)
+            for (const Link& l : c.dir) total += l.stats().bytes;
         return total;
     });
     m.gauge_fn("sim.queue_pending",
@@ -130,9 +138,11 @@ void Network::register_metrics() {
 
 Network::DropBreakdown Network::drop_breakdown() const {
     DropBreakdown out;
-    for (const Link& l : links_) {
-        out.queue += l.stats().drops_queue;
-        out.loss += l.stats().drops_loss;
+    for (const Cable& c : cables_) {
+        for (const Link& l : c.dir) {
+            out.queue += l.stats().drops_queue;
+            out.loss += l.stats().drops_loss;
+        }
     }
     return out;
 }
@@ -147,7 +157,14 @@ void Network::destroy(DeliveryBase* d) {
     if (d->prev != nullptr) d->prev->next = d->next;
     if (d->next != nullptr) d->next->prev = d->prev;
     if (deliveries_ == d) deliveries_ = d->next;
-    delete d;
+    if (d->arena_backed) {
+        d->~DeliveryBase();
+        // Burst drained: no in-flight record points into the arena any
+        // more, so rewind it (chunks are retained for the next burst).
+        if (deliveries_ == nullptr) delivery_arena_.reset();
+    } else {
+        delete d;
+    }
 }
 
 void Network::reserve(std::size_t nodes, std::size_t directed_links) {
@@ -165,34 +182,70 @@ NodeId Network::add_node(SiteId site, bool is_router) {
     node_site_id_.push_back(site);
     node_is_router_.push_back(is_router ? 1 : 0);
     node_down_.push_back(0);
-    edge_head_.push_back(kNoIndex);
-    edge_tail_.push_back(kNoIndex);
+    // Edge lists are grown on demand by ensure_edge_lists(): finalize()
+    // frees the construction arena once the CSR snapshot exists, so a
+    // node addition must not assume the lists are live.
     finalized_ = false;
     return NodeId{static_cast<std::uint32_t>(node_site_id_.size())};
+}
+
+void Network::ensure_edge_lists() {
+    const std::size_t n = node_count();
+    if (edge_head_.size() == n && (!edge_cells_.empty() || csr_to_.empty()))
+        return;
+    edge_head_.resize(n, kNoIndex);
+    edge_tail_.resize(n, kNoIndex);
+    // Rehydrate the per-node linked lists from the CSR snapshot after
+    // finalize() freed them.  CSR row order *is* the original per-source
+    // insertion order, and build_adjacency() only ever walks the lists
+    // per source, so the next snapshot comes out identical.
+    if (edge_cells_.empty() && !csr_to_.empty()) {
+        const std::size_t csr_nodes = csr_offset_.size() - 1;
+        edge_cells_.reserve(csr_to_.size());
+        for (std::size_t i = 0; i < csr_nodes; ++i) {
+            for (std::uint32_t e = csr_offset_[i]; e < csr_offset_[i + 1]; ++e) {
+                const std::uint32_t cell = static_cast<std::uint32_t>(edge_cells_.size());
+                edge_cells_.push_back(EdgeCell{csr_to_[e], kNoIndex, csr_link_[e]});
+                if (edge_head_[i] == kNoIndex)
+                    edge_head_[i] = cell;
+                else
+                    edge_cells_[edge_tail_[i]].next = cell;
+                edge_tail_[i] = cell;
+            }
+        }
+    }
 }
 
 void Network::add_link(NodeId a, NodeId b, const LinkSpec& spec) {
     if (index(a) >= node_count() || index(b) >= node_count() || a == b)
         throw std::invalid_argument("Network::add_link: bad endpoints");
-    auto install = [this, &spec](NodeId from, NodeId to) {
-        if (Link* existing = link(from, to)) {
-            existing->respec(spec);
-            return;
-        }
-        Link& l = links_.emplace_back(from, to, spec);
-        const std::size_t fi = index(from);
-        const std::size_t ti = index(to);
-        const std::uint32_t cell = static_cast<std::uint32_t>(edge_cells_.size());
-        edge_cells_.push_back(EdgeCell{static_cast<std::uint32_t>(ti), kNoIndex, &l});
-        if (edge_head_[fi] == kNoIndex)
-            edge_head_[fi] = cell;
-        else
-            edge_cells_[edge_tail_[fi]].next = cell;
-        edge_tail_[fi] = cell;
-        link_index_.emplace(pair_key(fi, ti), &l);
-    };
-    install(a, b);
-    install(b, a);
+    if (Link* existing = link(a, b)) {
+        // Cables are always installed in pairs, so a->b existing means the
+        // whole cable exists: re-spec it in place.  Any installed loss
+        // model silently resets to NoLoss (Cable::respec documents this);
+        // surface the resets through network.respec_loss_resets so
+        // lossy-rewire scenarios can detect them.
+        const unsigned resets = existing->cable().respec(spec);
+        if (resets != 0) respec_loss_resets_->inc(resets);
+    } else {
+        ensure_edge_lists();
+        Cable& c = cables_.emplace_back(a, b, spec);
+        auto wire = [this](Link& l, NodeId from, NodeId to) {
+            const std::size_t fi = index(from);
+            const std::size_t ti = index(to);
+            const std::uint32_t cell = static_cast<std::uint32_t>(edge_cells_.size());
+            edge_cells_.push_back(
+                EdgeCell{static_cast<std::uint32_t>(ti), kNoIndex, &l});
+            if (edge_head_[fi] == kNoIndex)
+                edge_head_[fi] = cell;
+            else
+                edge_cells_[edge_tail_[fi]].next = cell;
+            edge_tail_[fi] = cell;
+            link_index_.emplace(pair_key(fi, ti), &l);
+        };
+        wire(c.dir[0], a, b);
+        wire(c.dir[1], b, a);
+    }
     // A changed edge can invalidate any cached tree or cached path, so both
     // caches drop immediately -- not just at the next finalize().  In-flight
     // deliveries keep their pinned trees and complete on the pre-change
@@ -254,6 +307,7 @@ const Link* Network::link(NodeId a, NodeId b) const {
 
 void Network::build_adjacency() {
     const std::size_t n = node_count();
+    ensure_edge_lists();  // rehydrates from the old CSR if finalize() freed them
     csr_offset_.assign(n + 1, 0);
     csr_to_.clear();
     csr_link_.clear();
@@ -267,6 +321,13 @@ void Network::build_adjacency() {
         }
     }
     csr_offset_[n] = static_cast<std::uint32_t>(csr_to_.size());
+    // The CSR snapshot now carries everything routing needs, and it can
+    // regenerate the lists if a link is ever added afterwards
+    // (ensure_edge_lists above) -- so drop the construction arena: at 10^7
+    // nodes the cells plus head/tail pointers are ~400 MB of dead weight.
+    std::vector<EdgeCell>().swap(edge_cells_);
+    std::vector<std::uint32_t>().swap(edge_head_);
+    std::vector<std::uint32_t>().swap(edge_tail_);
 
     // Drain the construction-time hash map into the sorted flat index and
     // free its buckets (see the member comment for the memory math).
@@ -908,12 +969,25 @@ struct Network::UnicastDelivery final : DeliveryBase {
     std::uint32_t hops_left;  ///< loop guard (see forward_unicast)
 };
 
+// Delivery records come from the burst-scoped bump arena when enabled (the
+// flag is sampled per record, so a mid-run toggle leaves in-flight records
+// on their original backing).
+template <typename T, typename... Args>
+T* Network::make_delivery(Args&&... args) {
+    if (!arena_enabled_) return new T(std::forward<Args>(args)...);
+    void* p = delivery_arena_.allocate(sizeof(T), alignof(T));
+    T* d = new (p) T(std::forward<Args>(args)...);
+    d->arena_backed = true;
+    return d;
+}
+
 void Network::unicast(NodeId from, NodeId to, const Packet& packet) {
     if (node_down_[index(from)] != 0) return;
     if (from != to && !finalized_)
         throw std::logic_error("Network: finalize() before sending traffic");
     unicast_sends_->inc();
-    auto* d = new UnicastDelivery(*this, packet, static_cast<std::uint32_t>(index(to)));
+    auto* d = make_delivery<UnicastDelivery>(*this, packet,
+                                             static_cast<std::uint32_t>(index(to)));
     track(d);
     if (from == to) {  // local delivery without touching the network
         simulator_.schedule_in(Duration::zero(),
@@ -1117,7 +1191,7 @@ void Network::multicast(NodeId from, const Packet& packet, McastScope scope) {
     const std::shared_ptr<const CachedTree> tree = slot.tree;
     if (!tree->any_members) return;
 
-    auto* d = new TreeDelivery(*this, tree, packet);
+    auto* d = make_delivery<TreeDelivery>(*this, tree, packet);
     track(d);
     multicast_step(d, 0);  // entry 0 = the sender
     unref(d);  // drop the sending frame's reference
@@ -1125,16 +1199,76 @@ void Network::multicast(NodeId from, const Packet& packet, McastScope scope) {
 
 void Network::multicast_step(TreeDelivery* d, std::uint32_t at) {
     const CachedTree::Node& node = d->tree->nodes[at];
+    // Per-(site, packet) delivery batching: consecutive children whose
+    // copies all arrive at the same instant on idle links (the common case:
+    // a site router fanning one packet out to its LAN receivers over
+    // identical, idle links) share ONE event that replays the run in child
+    // order, instead of one event each.  Bit-identity argument: the
+    // per-child events would receive consecutive tiebreaks with nothing
+    // interleaved (only this loop consumes tiebreaks, and parked/dropped
+    // children flush the run first), so they would pop back to back at the
+    // same instant; multicast_arrive_run processes the same children in the
+    // same order at that instant.  Consuming one tiebreak instead of k
+    // preserves every relative (time, seq) order, because tiebreaks are
+    // compared only between equal timestamps and stay monotone.
+    std::uint32_t run_begin = 0;
+    std::uint32_t run_len = 0;
+    TimePoint run_at = time_zero();
+    auto flush_run = [&] {
+        if (run_len == 0) return;
+        if (run_len == 1) {
+            const std::uint32_t hop = d->tree->children[run_begin].entry;
+            simulator_.schedule_at(run_at, [d, hop] {
+                dispatch_arrival(d, hop, ArrivalKind::kMulticast);
+            });
+        } else {
+            batched_runs_->inc();
+            simulator_.schedule_at(run_at, [d, c0 = run_begin, n = run_len] {
+                d->net.multicast_arrive_run(d, c0, n);
+            });
+        }
+        run_len = 0;
+    };
     for (std::uint32_t c = node.child_begin; c != node.child_end; ++c) {
         const CachedTree::Child& child = d->tree->children[c];
-        const bool was_busy = batching_enabled_ && child.link->busy(simulator_.now());
+        const bool busy = child.link->busy(simulator_.now());
         auto arrival = child.link->transmit(rng_, simulator_.now(), d->bytes, d->type);
         if (tap_) tap_(simulator_.now(), *child.link, d->packet, arrival.has_value());
-        if (!arrival) continue;
+        if (!arrival) {
+            flush_run();  // a dropped child splits the contiguous run
+            continue;
+        }
         ++d->pending;
-        schedule_arrival(child.link, was_busy, *arrival, d, child.entry,
-                         ArrivalKind::kMulticast);
+        if (!delivery_batching_ || busy) {
+            // A busy link always splits the run and takes the per-child
+            // path, whether or not FIFO parking is on -- run formation must
+            // not depend on the FIFO mode, or the two modes stop being
+            // event-count-identical (BurstBatching tests).  FIFO parking
+            // reserves the next tiebreak, so the run is emitted first to
+            // keep tiebreak consumption in child order.
+            flush_run();
+            schedule_arrival(child.link, batching_enabled_ && busy, *arrival, d,
+                             child.entry, ArrivalKind::kMulticast);
+            continue;
+        }
+        if (run_len != 0 && *arrival == run_at) {
+            ++run_len;
+        } else {
+            flush_run();
+            run_begin = c;
+            run_len = 1;
+            run_at = *arrival;
+        }
     }
+    flush_run();
+}
+
+void Network::multicast_arrive_run(TreeDelivery* d, std::uint32_t child_begin,
+                                   std::uint32_t count) {
+    // Each child in the run holds one `pending` reference, so `d` (and the
+    // tree it pins) outlives every iteration.
+    for (std::uint32_t i = 0; i < count; ++i)
+        multicast_arrive(d, d->tree->children[child_begin + i].entry);
 }
 
 void Network::multicast_arrive(TreeDelivery* d, std::uint32_t at) {
@@ -1194,13 +1328,15 @@ std::size_t Network::routing_table_bytes() const {
 std::uint64_t Network::count_packets(PacketType type,
                                      const std::function<bool(const Link&)>& pred) const {
     std::uint64_t total = 0;
-    for (const Link& l : links_)
-        if (!pred || pred(l)) total += l.stats().packets_of(type);
+    for (const Cable& c : cables_)
+        for (const Link& l : c.dir)
+            if (!pred || pred(l)) total += l.stats().packets_of(type);
     return total;
 }
 
 void Network::reset_link_stats() {
-    for (Link& l : links_) l.reset_stats();
+    for (Cable& c : cables_)
+        for (Link& l : c.dir) l.reset_stats();
 }
 
 }  // namespace lbrm::sim

@@ -39,8 +39,11 @@
 //
 // Delivery trees are cached per (group, sender, scope) behind an optional
 // LRU bound (SimConfig::tree_cache_capacity) and invalidated on membership
-// or topology change; per-send state is a single heap allocation whose
-// event closures fit std::function's small-buffer size.
+// or topology change; per-send state is a single record -- bump-allocated
+// from a burst-scoped arena by default (DESIGN.md "Memory engineering") --
+// whose event closures fit std::function's small-buffer size.  Same-time
+// multicast fan-out to idle links is additionally batched: one event per
+// contiguous run of tree children, not one per child.
 //
 // Protocol endpoints attach as SimHost objects (see sim_host.hpp); the
 // network delivers decoded packets to them and provides their timers via
@@ -58,6 +61,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/stable_vector.hpp"
@@ -92,8 +96,9 @@ public:
     NodeId add_node(SiteId site, bool is_router = false);
 
     /// Add a bidirectional cable: two directed links with the same spec.
-    /// Re-adding an existing pair re-specs both directed links in place
-    /// (live traffic state survives; see Link::respec) and, like a new
+    /// Re-adding an existing pair re-specs the cable in place (live traffic
+    /// state survives, installed loss models reset -- see Cable::respec;
+    /// the resets feed the `network.respec_loss_resets` counter) and, like a new
     /// link, drops every cached tree and cached path -- a changed edge may
     /// invalidate any of them -- and requires finalize() before new
     /// traffic.
@@ -144,7 +149,7 @@ public:
         return node_is_router_[index(node)] != 0;
     }
     [[nodiscard]] std::size_t node_count() const { return node_site_id_.size(); }
-    [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+    [[nodiscard]] std::size_t link_count() const { return cables_.size() * 2; }
     [[nodiscard]] Simulator& simulator() { return simulator_; }
 
     /// The telemetry registry (created by the network unless SimConfig
@@ -221,6 +226,22 @@ public:
     void set_batching(bool enabled) { batching_enabled_ = enabled; }
     [[nodiscard]] bool batching_enabled() const { return batching_enabled_; }
 
+    /// Per-(site, packet) delivery batching (see DESIGN.md "Memory
+    /// engineering"): on by default, disabled by LBRM_SIM_NO_DELIVERY_BATCH
+    /// at construction or by this setter.  Bit-identical either way
+    /// (memory_diet_test A/Bs the trace hash).
+    void set_delivery_batching(bool enabled) { delivery_batching_ = enabled; }
+    [[nodiscard]] bool delivery_batching() const { return delivery_batching_; }
+
+    /// Burst-scoped bump arena for delivery records: on by default,
+    /// disabled by LBRM_SIM_NO_DELIVERY_ARENA at construction or by this
+    /// setter (records allocated before a toggle keep their original
+    /// backing).  Bit-identical either way.
+    void set_delivery_arena(bool enabled) { arena_enabled_ = enabled; }
+    [[nodiscard]] bool delivery_arena_enabled() const { return arena_enabled_; }
+    /// The arena itself, for introspection (tests, memory accounting).
+    [[nodiscard]] const BumpArena& delivery_arena() const { return delivery_arena_; }
+
 private:
     /// "No node index" sentinel for the routing tables and edge arena.
     static constexpr std::uint32_t kNoIndex = 0xFFFFFFFFu;
@@ -287,10 +308,19 @@ private:
         Network& net;
         DeliveryBase* prev = nullptr;
         DeliveryBase* next = nullptr;
+        /// True when the record lives in delivery_arena_: destroy() runs the
+        /// destructor only, and resets the arena once the in-flight list
+        /// empties (the burst has drained).
+        bool arena_backed = false;
         virtual ~DeliveryBase() = default;
     };
     struct UnicastDelivery;
     struct TreeDelivery;
+
+    /// Allocate a delivery record: from the burst arena when enabled, the
+    /// heap otherwise.  Defined in network.cpp (needs the complete types).
+    template <typename T, typename... Args>
+    T* make_delivery(Args&&... args);
 
     /// What an in-flight arrival is: enough to resume the delivery without
     /// a per-arrival std::function.  A (delivery, hop, kind) triple is what
@@ -320,6 +350,10 @@ private:
     /// add_link still see the finalize-time adjacency (stale-table
     /// semantics, identical to the eagerly built matrices).
     void build_adjacency();
+    /// Make the construction-time edge lists live again: size head/tail to
+    /// the current node count and, when build_adjacency() freed the cells,
+    /// rebuild them from the CSR snapshot (identical per-source order).
+    void ensure_edge_lists();
     [[nodiscard]] Link* find_link(std::uint64_t key) const;
     void build_flat_routes();
     void build_hierarchical_routes();
@@ -366,6 +400,11 @@ private:
     void enforce_tree_cache_bound();
     void multicast_step(TreeDelivery* d, std::uint32_t at);
     void multicast_arrive(TreeDelivery* d, std::uint32_t at);
+    /// Resume a batched run: the `count` consecutive tree children starting
+    /// at `child_begin` all arrive now; process them in child order, exactly
+    /// as the per-child events would have popped back to back.
+    void multicast_arrive_run(TreeDelivery* d, std::uint32_t child_begin,
+                              std::uint32_t count);
     void unref(TreeDelivery* d);
 
     Simulator& simulator_;
@@ -382,7 +421,11 @@ private:
     /// Directed edges as per-node linked lists through one arena, appended
     /// in add_link order (head/tail per node).  finalize() flattens them
     /// into the CSR snapshot below; insertion order is preserved because
-    /// Dijkstra's tie-breaking depends on edge relaxation order.
+    /// Dijkstra's tie-breaking depends on edge relaxation order.  The
+    /// arena is construction-time-only: build_adjacency() frees it after
+    /// snapshotting (~40 B/node) and ensure_edge_lists() rehydrates it
+    /// from the CSR -- whose row order equals the per-source insertion
+    /// order -- if a link is added post-finalize.
     struct EdgeCell {
         std::uint32_t to;    ///< target node index
         std::uint32_t next;  ///< next cell of the same source; kNoIndex = end
@@ -396,7 +439,7 @@ private:
     std::vector<std::uint32_t> csr_to_;
     std::vector<Link*> csr_link_;
 
-    StableVector<Link> links_;  ///< creation order; adjacency points here
+    StableVector<Cable> cables_;  ///< creation order; adjacency points into dir[]
     /// link(a, b) lookup, keyed (from index << 32 | to index).  During
     /// construction every entry lives in the hash map; finalize() drains it
     /// into the sorted flat array -- two million directed links cost 32 MB
@@ -502,12 +545,20 @@ private:
     obs::Counter* path_cache_misses_;  ///< sim.path_cache_misses
     obs::Counter* batched_arrivals_;   ///< sim.batched_arrivals (FIFO-parked)
     obs::Counter* batch_drains_;       ///< sim.batch_drains (drain firings)
+    obs::Counter* batched_runs_;       ///< sim.batched_delivery_runs (>=2 children)
+    obs::Counter* respec_loss_resets_; ///< network.respec_loss_resets
 
     DeliveryBase* deliveries_ = nullptr;  ///< intrusive list of in-flight sends
+    /// Burst-scoped storage for delivery records (DESIGN.md "Memory
+    /// engineering"): reset whenever the in-flight list drains, so
+    /// steady-state traffic recycles the same chunks malloc-free.
+    BumpArena delivery_arena_;
     bool finalized_ = false;
     bool flat_routes_requested_;
     bool built_flat_ = false;
     bool batching_enabled_ = true;
+    bool delivery_batching_ = true;
+    bool arena_enabled_ = true;
     Tap tap_;
 };
 

@@ -19,8 +19,12 @@ DisScenario::DisScenario(ScenarioConfig config)
 
     const DisTopologySize size = dis_topology_size(config_.topology);
     hosts_.reserve(size.hosts);
-    receiver_cores_.reserve(static_cast<std::size_t>(config_.topology.sites) *
-                            config_.topology.receivers_per_site);
+    // Dormant mode keeps receiver_cores_ empty (receiver() wakes on demand
+    // through ProtocolHost): at 10M nodes the eager index alone would be
+    // 160 MB.
+    if (!config_.dormant_receivers)
+        receiver_cores_.reserve(static_cast<std::size_t>(config_.topology.sites) *
+                                config_.topology.receivers_per_site);
     secondary_cores_.reserve(config_.topology.sites);
 
     wire_source();
@@ -171,9 +175,56 @@ void DisScenario::wire_site(const DisTopology::Site& site, std::size_t site_inde
         secondary_cores_.push_back(nullptr);
     }
 
+    // Dormancy needs a statically known logger at attach time: discovery
+    // would multicast probes at start() and rotation runs a co-located
+    // logger core, so both fall back to eager wiring.
+    const bool dormant_mode = config_.dormant_receivers &&
+                              !config_.discover_loggers &&
+                              !config_.rotate_site_loggers;
+    std::uint32_t receiver_index = 0;
     for (NodeId node : site.receivers) {
         SimHost& host = network_.attach_host(node);
         hosts_.push_back(&host);
+
+        const bool joins_group =
+            config_.active_receivers_per_site == 0 ||
+            receiver_index < config_.active_receivers_per_site;
+        ++receiver_index;
+
+        if (dormant_mode) {
+            if (!dormant_template_) {
+                auto tmpl = std::make_shared<ProtocolHost::DormantReceiverTemplate>();
+                ReceiverConfig cfg = config_.receiver_defaults;
+                cfg.group = group;
+                cfg.source = topology_.source;
+                cfg.max_idle = config_.max_idle;
+                cfg.heartbeat = config_.heartbeat;
+                if (config_.use_retrans_channel)
+                    cfg.retrans_channel = retrans_group();
+                tmpl->config = std::move(cfg);
+                tmpl->make_handlers = [obs = observer_.get()](NodeId self) {
+                    AppHandlers h;
+                    h.on_data = [obs, self](TimePoint at, const DeliverData& d) {
+                        obs->on_delivery(at, self, d);
+                    };
+                    h.on_notice = [obs, self](TimePoint at, const Notice& n) {
+                        obs->on_notice(at, self, n);
+                    };
+                    return h;
+                };
+                dormant_template_ = std::move(tmpl);
+            }
+            // One shared watchdog deadline for every dormant receiver in
+            // the scenario, so start() schedules a single sweep event in
+            // place of one armed timer per record (~100 B each at 10^7).
+            host.protocol().defer_dormant_watchdogs();
+            host.protocol().add_dormant_receiver(
+                dormant_template_, node,
+                local_logger != kNoNode ? local_logger : topology_.primary,
+                topology_.primary);
+            if (joins_group) network_.join(group, node);
+            continue;
+        }
 
         if (config_.rotate_site_loggers) {
             // Rotating-logger mode (Section 2.2.1 alternative): this host
@@ -221,13 +272,25 @@ void DisScenario::wire_site(const DisTopology::Site& site, std::size_t site_inde
         };
         receiver_cores_.emplace_back(
             node, &host.protocol().add_receiver(std::move(receiver_config), handlers));
-        network_.join(group, node);
+        if (joins_group) network_.join(group, node);
     }
 }
 
 void DisScenario::start() {
     const TimePoint now = simulator_.now();
     for (SimHost* host : hosts_) host->protocol().start(now);
+    if (dormant_template_) {
+        // Deferred idle watchdogs (see defer_dormant_watchdogs): every
+        // dormant receiver shares one template, hence one deadline.  One
+        // sweep event walks the hosts in start() order, which is exactly
+        // the order the per-record timers would have fired in.
+        const TimePoint deadline =
+            now + ReceiverCore::initial_idle_threshold(dormant_template_->config);
+        simulator_.schedule_at(deadline, [this] {
+            const TimePoint at = simulator_.now();
+            for (SimHost* host : hosts_) host->protocol().fire_dormant_watchdogs(at);
+        });
+    }
 }
 
 void DisScenario::send_update(std::vector<std::uint8_t> payload) {
@@ -263,9 +326,18 @@ ReceiverCore& DisScenario::receiver(NodeId node) {
     const auto it = std::lower_bound(
         receiver_cores_.begin(), receiver_cores_.end(), node,
         [](const auto& entry, NodeId id) { return entry.first < id; });
-    if (it == receiver_cores_.end() || it->first != node)
-        throw std::logic_error("scenario: unknown receiver");
-    return *it->second;
+    if (it != receiver_cores_.end() && it->first == node) return *it->second;
+    // Dormant mode keeps no eager index: ask the host, waking the core if
+    // it has not materialised yet.
+    if (SimHost* host = network_.host(node))
+        if (ReceiverCore* core = host->protocol().receiver_for(node)) return *core;
+    throw std::logic_error("scenario: unknown receiver");
+}
+
+std::size_t DisScenario::dormant_receiver_count() const {
+    std::size_t n = 0;
+    for (const SimHost* host : hosts_) n += host->protocol().dormant_count();
+    return n;
 }
 
 const RecordingObserver& DisScenario::recorder() const {

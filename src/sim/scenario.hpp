@@ -84,6 +84,22 @@ struct ScenarioConfig {
     /// from the primary -- a three-level hierarchy.
     bool use_regional_loggers = false;
 
+    /// Memory diet (DESIGN.md "Memory engineering"): attach receivers as
+    /// dormant ~48-byte records that materialise into full ReceiverCores on
+    /// their first group packet.  Bit-identical to eager cores (the wake
+    /// rules live in ProtocolHost::add_dormant_receiver; memory_diet_test
+    /// A/Bs the two modes) but requires statically configured loggers, so
+    /// the flag is ignored when discover_loggers or rotate_site_loggers is
+    /// set.
+    bool dormant_receivers = false;
+
+    /// 0 = every receiver joins the multicast group (the default).  N > 0 =
+    /// only the first N receivers of each site join; the rest are wired and
+    /// reachable but never see group traffic (interest management: a
+    /// 10M-entity battlefield has few *subscribed* entities per site).
+    /// CHANGES TRAFFIC -- scale benches only, never A/B comparisons.
+    std::uint32_t active_receivers_per_site = 0;
+
     ReceiverConfig receiver_defaults;  ///< timing knobs (nack delays etc.)
     LoggerConfig logger_defaults;      ///< retention, fetch timing
 };
@@ -131,7 +147,12 @@ public:
     [[nodiscard]] LoggerCore& primary_logger() { return *primary_core_; }
     [[nodiscard]] LoggerCore& secondary_logger(std::size_t site);
     [[nodiscard]] LoggerCore& regional_logger(std::size_t region);
+    /// The receiver core on `node`.  Under dormant_receivers this wakes the
+    /// core if it is still dormant (a pure materialisation -- no actions
+    /// run, the simulation is unaffected).
     [[nodiscard]] ReceiverCore& receiver(NodeId node);
+    /// Receivers attached dormant and not yet woken (0 in eager mode).
+    [[nodiscard]] std::size_t dormant_receiver_count() const;
     /// The retransmission-channel group id (valid when enabled).
     [[nodiscard]] GroupId retrans_group() const {
         return GroupId{config_.group.value() + 1};
@@ -182,6 +203,8 @@ private:
     /// wiring), looked up by binary search.
     std::vector<std::pair<NodeId, ReceiverCore*>> receiver_cores_;
     std::vector<SimHost*> hosts_;
+    /// Shared blueprint for every dormant receiver (null in eager mode).
+    std::shared_ptr<const ProtocolHost::DormantReceiverTemplate> dormant_template_;
 
     void schedule_sample_tick();
     obs::Sampler sampler_;           ///< initialised over network_.metrics()

@@ -48,11 +48,30 @@ void SimHost::arm(std::uint32_t core_tag, TimerId id, TimePoint deadline) {
         timers_[i] = timers_.back();
         timers_.pop_back();
     }
-    const std::uint64_t event =
-        simulator_.schedule_at(deadline, [this, core_tag, id] {
+    // Pack the closure into std::function's 16-byte small buffer when the
+    // timer fits: [this (8) | arg32 (4) | tag24|kind8 (4)].  The naive
+    // [this, core_tag, id] capture is 28 bytes and heap-allocates -- at
+    // 10M armed idle watchdogs that is one malloc per host.  Every shipped
+    // timer has arg < 2^32 (sequence numbers) and tag < 2^24, but the fat
+    // fallback keeps exotic values correct.  The closure's shape cannot
+    // affect simulation order: same schedule call, same deadline.
+    std::uint64_t event;
+    if (id.arg <= 0xFFFFFFFFull && core_tag < (1u << 24)) {
+        const auto arg32 = static_cast<std::uint32_t>(id.arg);
+        const std::uint32_t tk =
+            (core_tag << 8) | static_cast<std::uint32_t>(id.kind);
+        event = simulator_.schedule_at(deadline, [this, arg32, tk] {
+            const std::uint32_t tag = tk >> 8;
+            const TimerId tid{static_cast<TimerKind>(tk & 0xFFu), arg32};
+            erase_timer(tag, tid);
+            protocol_.on_timer(simulator_.now(), tag, tid);
+        });
+    } else {
+        event = simulator_.schedule_at(deadline, [this, core_tag, id] {
             erase_timer(core_tag, id);
             protocol_.on_timer(simulator_.now(), core_tag, id);
         });
+    }
     timers_.push_back(TimerEnt{core_tag, id, event});
 }
 

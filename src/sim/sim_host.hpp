@@ -28,6 +28,7 @@ public:
 
     [[nodiscard]] NodeId id() const { return self_; }
     [[nodiscard]] ProtocolHost& protocol() { return protocol_; }
+    [[nodiscard]] const ProtocolHost& protocol() const { return protocol_; }
 
     /// Network -> host delivery (called by Network at arrival time).
     void deliver(TimePoint now, const Packet& packet);

@@ -116,7 +116,8 @@ TEST(Simulator, PastSchedulingClampsToNow) {
 // --- link ---------------------------------------------------------------------
 
 TEST(Link, PropagationOnlyForInfiniteBandwidth) {
-    Link link{NodeId{1}, NodeId{2}, LinkSpec{millis(10), 0.0, Duration::zero()}};
+    Cable cable{NodeId{1}, NodeId{2}, LinkSpec{millis(10), 0.0, Duration::zero()}};
+    Link& link = cable.dir[0];
     Rng rng{1};
     auto arrival = link.transmit(rng, at(1.0), 1000, PacketType::kData);
     ASSERT_TRUE(arrival.has_value());
@@ -125,7 +126,8 @@ TEST(Link, PropagationOnlyForInfiniteBandwidth) {
 
 TEST(Link, SerializationDelayFromBandwidth) {
     // 1000 bytes at 1 Mb/s = 8 ms serialization + 1 ms propagation.
-    Link link{NodeId{1}, NodeId{2}, LinkSpec{millis(1), 1e6, Duration::zero()}};
+    Cable cable{NodeId{1}, NodeId{2}, LinkSpec{millis(1), 1e6, Duration::zero()}};
+    Link& link = cable.dir[0];
     Rng rng{1};
     auto arrival = link.transmit(rng, at(0.0), 1000, PacketType::kData);
     ASSERT_TRUE(arrival.has_value());
@@ -133,7 +135,8 @@ TEST(Link, SerializationDelayFromBandwidth) {
 }
 
 TEST(Link, FifoQueueingAccumulates) {
-    Link link{NodeId{1}, NodeId{2}, LinkSpec{Duration::zero(), 1e6, Duration::zero()}};
+    Cable cable{NodeId{1}, NodeId{2}, LinkSpec{Duration::zero(), 1e6, Duration::zero()}};
+    Link& link = cable.dir[0];
     Rng rng{1};
     auto first = link.transmit(rng, at(0.0), 1000, PacketType::kData);
     auto second = link.transmit(rng, at(0.0), 1000, PacketType::kData);
@@ -142,7 +145,8 @@ TEST(Link, FifoQueueingAccumulates) {
 }
 
 TEST(Link, DropTailWhenQueueDelayExceeded) {
-    Link link{NodeId{1}, NodeId{2}, LinkSpec{Duration::zero(), 1e6, millis(10)}};
+    Cable cable{NodeId{1}, NodeId{2}, LinkSpec{Duration::zero(), 1e6, millis(10)}};
+    Link& link = cable.dir[0];
     Rng rng{1};
     // Each packet occupies 8 ms of line time; the third would wait 16 ms.
     EXPECT_TRUE(link.transmit(rng, at(0.0), 1000, PacketType::kData).has_value());
@@ -152,7 +156,8 @@ TEST(Link, DropTailWhenQueueDelayExceeded) {
 }
 
 TEST(Link, StatsCountByType) {
-    Link link{NodeId{1}, NodeId{2}, LinkSpec{}};
+    Cable cable{NodeId{1}, NodeId{2}, LinkSpec{}};
+    Link& link = cable.dir[0];
     Rng rng{1};
     link.transmit(rng, at(0.0), 100, PacketType::kData);
     link.transmit(rng, at(0.1), 50, PacketType::kNack);

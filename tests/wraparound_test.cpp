@@ -307,7 +307,8 @@ const LinkSpec kT1{millis(1), 1e6, Duration::zero()};  // 1000 B = 8 ms serializ
 // --- Link accounting order ------------------------------------------------
 
 TEST(LinkAccounting, LostPacketStillBurnsWireTime) {
-    Link link{NodeId{1}, NodeId{2}, kT1};
+    Cable cable{NodeId{1}, NodeId{2}, kT1};
+    Link& link = cable.dir[0];
     Rng rng{1};
 
     auto a = link.transmit(rng, at(0.0), 1000, PacketType::kData);
@@ -340,7 +341,8 @@ TEST(LinkAccounting, QueueDropNeverConsultsLossModel) {
 
     LinkSpec spec = kT1;
     spec.max_queue_delay = millis(10);  // fits one 8 ms packet in queue, not two
-    Link link{NodeId{1}, NodeId{2}, spec};
+    Cable cable{NodeId{1}, NodeId{2}, spec};
+    Link& link = cable.dir[0];
     int rolls = 0;
     link.set_loss_model(std::make_unique<CountingLoss>(rolls));
     Rng rng{1};
