@@ -119,6 +119,11 @@ enum class NoticeKind : std::uint8_t {
     kAckerOutage,         ///< sender: an epoch closed with zero volunteers;
                           ///< ACK coverage is dark until the re-solicit
                           ///< (arg = the epoch id)
+    kFailoverExhausted,   ///< sender: every promotion candidate was tried
+                          ///< and none answered; the source falls back to
+                          ///< acting as its own primary (arg = replicas
+                          ///< tried).  Terminal for this failover round --
+                          ///< emitted alongside kPrimaryFailover{self}.
 };
 
 struct Notice {

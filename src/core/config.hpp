@@ -207,6 +207,17 @@ struct ReceiverConfig {
     Duration nack_retry = millis(200);
     std::uint32_t nack_max_retries = 3;
 
+    /// When the whole escalation chain (local logger -> fallback ->
+    /// refreshed primary) exhausts, park the missing packets and restart
+    /// the chain after this pause instead of abandoning them: an outage
+    /// longer than one escalation walk (a primary failing over, a healing
+    /// partition) is not packet death.  recovery_cold_cycles bounds the
+    /// restarts -- 0 restores the old walk-once-then-abandon behaviour --
+    /// and after the last one the packets are abandoned with
+    /// kRecoveryFailed (log retention is finite, so recovery must be too).
+    Duration recovery_cold_retry = secs(1.0);
+    std::uint32_t recovery_cold_cycles = 4;
+
     /// Expanding-ring discovery (Section 2.2.1): per-ring response window.
     Duration discovery_interval = millis(250);
     std::uint32_t discovery_max_rounds = 6;
@@ -292,6 +303,16 @@ struct LoggerConfig {
     /// Secondary->primary fetch retry behaviour.
     Duration fetch_retry = millis(200);
     std::uint32_t fetch_max_retries = 5;
+
+    /// When a full fetch attempt budget goes unanswered, the upstream may
+    /// have crashed and been failed over (Section 2.2.3) -- or simply not
+    /// hold the packet yet (the source's LogStore handoff is itself
+    /// retried).  Rather than declaring the packet dead, re-learn the
+    /// current primary from the source (PrimaryQuery) and restart the
+    /// budget after this pause.  fetch_cold_cycles bounds the restarts --
+    /// 0 restores the old exhaust-once-then-abandon behaviour.
+    Duration fetch_cold_retry = secs(1.0);
+    std::uint32_t fetch_cold_cycles = 4;
 
     /// Primary->replica update retransmit interval.
     Duration replica_retry = millis(100);

@@ -9,7 +9,7 @@ namespace lbrm {
 LoggerCore::LoggerCore(LoggerConfig config, std::uint64_t rng_seed)
     : config_(std::move(config)), role_(config_.role), rng_(rng_seed),
       store_(config_.retention), contiguous_(config_.initial_seq.prev()),
-      detector_(config_.max_detector_gap) {}
+      detector_(config_.max_detector_gap), upstream_(config_.upstream) {}
 
 Actions LoggerCore::start(TimePoint now) {
     (void)now;
@@ -74,6 +74,18 @@ Actions LoggerCore::on_packet(TimePoint now, const Packet& packet) {
             // Let the source release buffers as replicas catch up.
             primary_ack_source(actions);
         }
+        return actions;
+    }
+
+    if (const auto* pr = std::get_if<PrimaryReplyBody>(&packet.body)) {
+        // The source's answer to our fire_fetch PrimaryQuery: adopt the
+        // current primary as the fetch target (Section 2.2.3 -- the
+        // statically configured upstream may have crashed and been
+        // replaced).  Ignore an answer naming ourselves: serving our own
+        // fetches cannot work.
+        if (role_ == LoggerRole::kSecondary && pr->primary != kNoNode &&
+            pr->primary != config_.self)
+            upstream_ = pr->primary;
         return actions;
     }
 
@@ -222,7 +234,7 @@ void LoggerCore::serve_one(TimePoint now, NodeId from, SeqNum seq, Actions& acti
     const LogStore::Entry* entry = store_.find(seq);
 
     if (entry == nullptr) {
-        if (role_ == LoggerRole::kSecondary && config_.upstream != kNoNode) {
+        if (role_ == LoggerRole::kSecondary && upstream_ != kNoNode) {
             // We do not have it either: remember the requester and call back
             // to the primary.
             auto [it, inserted] = fetch_pending_.try_emplace(seq);
@@ -278,6 +290,7 @@ void LoggerCore::schedule_fetch(TimePoint now, Actions& actions) {
 Actions LoggerCore::fire_fetch(TimePoint now) {
     Actions actions;
     NackBody nack;
+    bool budget_exhausted = false;
     for (auto it = fetch_pending_.begin(); it != fetch_pending_.end();) {
         FetchState& state = it->second;
         if (store_.contains(it->first)) {
@@ -286,15 +299,29 @@ Actions LoggerCore::fire_fetch(TimePoint now) {
             continue;
         }
         if (state.attempts >= config_.fetch_max_retries) {
-            actions.push_back(Notice{NoticeKind::kRecoveryFailed, it->first.value()});
-            detector_.abandon(it->first);
-            it = fetch_pending_.erase(it);
-            continue;
+            if (state.cold_cycles >= config_.fetch_cold_cycles) {
+                actions.push_back(
+                    Notice{NoticeKind::kRecoveryFailed, it->first.value()});
+                detector_.abandon(it->first);
+                it = fetch_pending_.erase(it);
+                continue;
+            }
+            // A whole attempt budget unanswered: the upstream is likely
+            // crashed or mid-failover, or simply does not hold the packet
+            // yet (the source's own LogStore handoff is retried).  Park
+            // the fetch for a cold pause and restart the budget -- and ask
+            // the source below who the primary is *now*.
+            ++state.cold_cycles;
+            state.attempts = 0;
+            state.cold_until = now + config_.fetch_cold_retry;
+            budget_exhausted = true;
         }
         // Pace per sequence: a request fired less than fetch_retry ago is
         // still outstanding -- re-asking now would just double the NACK load
-        // the hierarchy exists to reduce.
-        if (state.attempts == 0 || now - state.last_request >= config_.fetch_retry) {
+        // the hierarchy exists to reduce.  Parked sequences wait out their
+        // cold pause first.
+        if (now >= state.cold_until &&
+            (state.attempts == 0 || now - state.last_request >= config_.fetch_retry)) {
             ++state.attempts;
             state.last_request = now;
             nack.missing.push_back(it->first);
@@ -302,11 +329,19 @@ Actions LoggerCore::fire_fetch(TimePoint now) {
         ++it;
     }
 
-    if (config_.upstream == kNoNode) return actions;
+    if (upstream_ == kNoNode) return actions;
+    if (budget_exhausted &&
+        (!primary_query_sent_ ||
+         now - last_primary_query_ >= config_.fetch_cold_retry)) {
+        primary_query_sent_ = true;
+        last_primary_query_ = now;
+        actions.push_back(
+            SendUnicast{config_.source, make_packet(PrimaryQueryBody{})});
+    }
     if (!nack.missing.empty()) {
         ++upstream_fetches_;
         obs_->upstream_fetches->inc();
-        actions.push_back(SendUnicast{config_.upstream, make_packet(std::move(nack))});
+        actions.push_back(SendUnicast{upstream_, make_packet(std::move(nack))});
     }
     if (!fetch_pending_.empty())
         actions.push_back(

@@ -55,6 +55,9 @@ public:
     /// Stream-gap detector (secondary role): exposes gap_overflows() etc.
     [[nodiscard]] const LossDetector& detector() const { return detector_; }
     [[nodiscard]] const LoggerConfig& config() const { return config_; }
+    /// Secondary's current fetch target: the configured upstream until a
+    /// PrimaryReply from the source refreshes it (failover, Section 2.2.3).
+    [[nodiscard]] NodeId upstream() const { return upstream_; }
 
     /// Bind the family-aggregate telemetry block (obs/metrics.hpp); the
     /// per-instance accessors above are unaffected.
@@ -68,6 +71,8 @@ private:
         std::set<NodeId> requesters;  ///< local receivers waiting for this seq
         std::uint32_t attempts = 0;
         TimePoint last_request{};  ///< when the last upstream NACK named this seq
+        std::uint32_t cold_cycles = 0;  ///< attempt budgets exhausted so far
+        TimePoint cold_until{};         ///< no requests before this instant
     };
 
     /// Re-multicast decision window (Section 2.2.1): NACK count per seq.
@@ -116,6 +121,13 @@ private:
     /// Secondary: packets we must obtain from upstream.
     std::map<SeqNum, FetchState, SeqNum::WireOrder> fetch_pending_;
     bool fetch_delay_armed_ = false;
+    /// Current fetch target: starts at config_.upstream, refreshed from the
+    /// source's PrimaryReply after the configured upstream stops answering
+    /// (Section 2.2.3 failover -- the primary a secondary was wired to may
+    /// no longer be the primary).
+    NodeId upstream_;
+    TimePoint last_primary_query_{};
+    bool primary_query_sent_ = false;
 
     /// NACK-count windows keyed by sequence number.
     std::map<SeqNum, RequestWindow, SeqNum::WireOrder> windows_;

@@ -339,17 +339,36 @@ Actions ReceiverCore::escalate(TimePoint now) {
             actions.push_back(
                 StartTimer{{TimerKind::kNackRetry, 0}, now + config_.nack_retry});
             return actions;
-        case RecoveryLevel::kPrimary:
-            // Already tried the refreshed primary: give up on these packets.
-            for (auto& [seq, rec] : pending_) {
-                detector_.abandon(seq);
-                ++recovery_failures_;
-                obs_->recovery_failures->inc();
-                actions.push_back(Notice{NoticeKind::kRecoveryFailed, seq.value()});
+        case RecoveryLevel::kPrimary: {
+            // Already tried the refreshed primary.  One walk of the chain
+            // going unanswered usually means an outage in progress (a
+            // primary mid-failover, a partition yet to heal), not packet
+            // death: park the survivors and restart the chain from kLocal
+            // after a cold pause.  Only packets that have outlived
+            // recovery_cold_cycles whole walks are abandoned.
+            bool parked = false;
+            for (auto it = pending_.begin(); it != pending_.end();) {
+                PendingRecovery& rec = it->second;
+                if (rec.cold_cycles < config_.recovery_cold_cycles) {
+                    ++rec.cold_cycles;
+                    rec.attempts_at_level = 0;
+                    parked = true;
+                    ++it;
+                } else {
+                    detector_.abandon(it->first);
+                    ++recovery_failures_;
+                    obs_->recovery_failures->inc();
+                    actions.push_back(
+                        Notice{NoticeKind::kRecoveryFailed, it->first.value()});
+                    it = pending_.erase(it);
+                }
             }
-            pending_.clear();
             level_ = RecoveryLevel::kLocal;
+            if (parked)
+                actions.push_back(StartTimer{{TimerKind::kNackRetry, 0},
+                                             now + config_.recovery_cold_retry});
             return actions;
+        }
     }
     return actions;
 }

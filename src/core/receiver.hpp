@@ -84,6 +84,7 @@ private:
     struct PendingRecovery {
         TimePoint first_detected{};
         std::uint32_t attempts_at_level = 0;
+        std::uint32_t cold_cycles = 0;  ///< full escalation walks exhausted
     };
 
     [[nodiscard]] Packet make_packet(Body body) const {

@@ -243,6 +243,15 @@ Actions SenderCore::retry_log_store(TimePoint now) {
     Actions actions;
     if (primary_acked_ == last_seq()) return actions;  // nothing outstanding
 
+    // A failover round owns recovery once it starts: the kFailover timer
+    // chain advances candidates, and the eventual promotion (or self-primary
+    // fallback) replays the retained buffer.  A kLogStoreRetry armed by a
+    // send() that raced the failover must not re-enter here -- it would
+    // reset failover_candidate_ and spawn a second PromoteRequest chain
+    // competing with the one in flight (double promotion).  Let the stale
+    // timer expire inert; whoever ends the failover re-arms retries.
+    if (failing_over_) return actions;
+
     if (++log_store_retries_ > config_.log_store_max_retries) {
         log_store_retries_ = 0;
         failing_over_ = true;
@@ -271,10 +280,15 @@ Actions SenderCore::begin_failover(TimePoint now) {
 
     if (failover_candidate_ >= config_.replicas.size()) {
         // No replica answered: fall back to acting as our own primary so the
-        // stream keeps flowing; retained data keeps serving NACKs.
+        // stream keeps flowing; retained data keeps serving NACKs.  This is
+        // terminal for the round -- surface it loudly (notice + counter)
+        // instead of stalling silently with a dead log hierarchy.
         failing_over_ = false;
         primary_ = config_.self;
         primary_acked_ = last_seq();
+        obs_->failover_exhausted->inc();
+        actions.push_back(Notice{NoticeKind::kFailoverExhausted,
+                                 static_cast<std::uint64_t>(config_.replicas.size())});
         actions.push_back(Notice{NoticeKind::kPrimaryFailover, config_.self.value()});
         return actions;
     }

@@ -162,7 +162,7 @@ const Block& disabled_block() {
         auto* c = &Counter::sink();
         // Every Counter* member points at the sink; Histogram* likewise.
         if constexpr (std::is_same_v<Block, SenderMetrics>)
-            b = {c, c, c, c, c};
+            b = {c, c, c, c, c, c};
         else if constexpr (std::is_same_v<Block, ReceiverMetrics>)
             b = {c, c, c, c, c, &Histogram::sink()};
         else if constexpr (std::is_same_v<Block, LoggerMetrics>)
@@ -213,7 +213,8 @@ const ProtocolMetrics& Metrics::protocol() {
                       &counter("proto.sender.heartbeats_sent"),
                       &counter("proto.sender.remulticasts"),
                       &counter("proto.sender.log_store_retries"),
-                      &counter("proto.sender.failovers")};
+                      &counter("proto.sender.failovers"),
+                      &counter("proto.sender.failover_exhausted")};
         pm->receiver = {&counter("proto.receiver.delivered"),
                         &counter("proto.receiver.recovered"),
                         &counter("proto.receiver.nacks_sent"),

@@ -178,6 +178,7 @@ struct SenderMetrics {
     Counter* remulticasts;
     Counter* log_store_retries;
     Counter* failovers;
+    Counter* failover_exhausted;  ///< promotion rounds that ran out of replicas
     [[nodiscard]] static const SenderMetrics& disabled();
 };
 

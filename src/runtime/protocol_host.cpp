@@ -79,6 +79,20 @@ ProtocolHost::ReceiverSlot& ProtocolHost::wake_dormant(std::size_t i) {
     // (the idle watchdog it arms is armed at ProtocolHost::start, and fired
     // timers are recorded in rec.fresh).
     slot.core.restore_started(rec.fresh);
+    if (defer_dormant_watchdogs_ && started_ && rec.fresh) {
+        // Deferred mode never armed this record's idle watchdog, and once
+        // the core is live the sweep no longer covers it.  If the wake
+        // packet carries stream activity the core's on_packet re-arms kIdle
+        // anyway (replacing this); but a wake by a packet the receiver
+        // *ignores* (a stat-ack probe, say) would otherwise leave a fresh
+        // core with no watchdog at all -- its freshness-lost would silently
+        // diverge from an eager core, whose start()-armed timer still
+        // fires.  Stale (!fresh) records carry no pending watchdog: the
+        // eager equivalent already fired it, with no re-arm.
+        timers_.arm(rec.tag, {TimerKind::kIdle, 0},
+                    started_at_ + ReceiverCore::initial_idle_threshold(
+                                      slot.core.config()));
+    }
     if (metrics_ != nullptr) slot.core.bind_metrics(*metrics_);
     ++dormant_wakes_;
     return slot;
@@ -92,25 +106,44 @@ ReceiverCore* ProtocolHost::receiver_for(NodeId self) {
     return nullptr;
 }
 
+std::size_t ProtocolHost::next_dormant_after(std::uint64_t last_tag) const {
+    // Tags are handed out in attach order and wake_dormant preserves the
+    // order of the remaining records, so dormant_ is always ascending by
+    // tag.  The cursor therefore visits each record present at loop entry
+    // at most once and naturally skips records erased by a reentrant wake.
+    for (std::size_t i = 0; i < dormant_.size(); ++i)
+        if (dormant_[i].tag > last_tag) return i;
+    return dormant_.size();
+}
+
 void ProtocolHost::fire_dormant_watchdogs(TimePoint now) {
-    // Indexed loop on purpose: execute() only runs Notice actions here
-    // (no packets, no wakes), but an observer callback could in principle
-    // touch this host again, and an index survives reallocation where an
-    // iterator would not.
-    for (std::size_t i = 0; i < dormant_.size(); ++i) {
-        DormantReceiver& rec = dormant_[i];
-        if (!rec.fresh) continue;
-        if (started_at_ + ReceiverCore::initial_idle_threshold(rec.tmpl->config) > now)
+    // Tag-cursor loop, not indices or references: execute() routes notices
+    // through observer callbacks that may re-enter this host and wake (=
+    // erase) another dormant record -- e.g. a chaos hook or a test poking
+    // scenario.receiver(node) from on_notice.  An index held across that
+    // erase would skip the shifted record; a reference would dangle.
+    std::uint64_t last_tag = 0;  // tags start at 1, so 0 = "before the first"
+    for (;;) {
+        const std::size_t i = next_dormant_after(last_tag);
+        if (i >= dormant_.size()) break;
+        last_tag = dormant_[i].tag;
+        if (!dormant_[i].fresh) continue;
+        if (started_at_ +
+                ReceiverCore::initial_idle_threshold(dormant_[i].tmpl->config) >
+            now)
             continue;
         // Mirror the on_timer kIdle branch for a dormant record: flip
-        // freshness, notify, no re-arm (see on_timer below).
-        rec.fresh = false;
+        // freshness, notify, no re-arm (see on_timer below).  Flip before
+        // executing so a reentrant sweep never double-fires this record.
+        dormant_[i].fresh = false;
+        const std::uint32_t tag = dormant_[i].tag;
+        const NodeId self = dormant_[i].self;
+        const AppHandlers handlers = dormant_[i].tmpl->make_handlers
+                                         ? dormant_[i].tmpl->make_handlers(self)
+                                         : AppHandlers{};
         Actions actions;
         actions.push_back(Notice{NoticeKind::kFreshnessLost, 0});
-        const AppHandlers handlers = rec.tmpl->make_handlers
-                                         ? rec.tmpl->make_handlers(rec.self)
-                                         : AppHandlers{};
-        execute(now, rec.tag, handlers, std::move(actions));
+        execute(now, tag, handlers, std::move(actions));
     }
 }
 
@@ -124,6 +157,7 @@ void ProtocolHost::start(TimePoint now) {
     for (auto& slot : receivers_)
         execute(now, slot.tag, slot.handlers, slot.core.start(now));
     started_at_ = now;
+    started_ = true;
     if (!defer_dormant_watchdogs_) {
         for (DormantReceiver& rec : dormant_) {
             // Exactly what ReceiverCore::start() returns for a statically
@@ -149,7 +183,14 @@ void ProtocolHost::on_packet(TimePoint now, const Packet& packet) {
     if (sender_) execute(now, 0, sender_->handlers, sender_->core.on_packet(now, packet));
     for (auto& slot : receivers_)
         execute(now, slot.tag, slot.handlers, slot.core.on_packet(now, packet));
-    for (std::size_t i = 0; i < dormant_.size();) {
+    // Tag-cursor loop (see fire_dormant_watchdogs): the execute() after a
+    // wake runs observer callbacks that may re-enter this host and wake
+    // another dormant record, shifting dormant_ under a plain index.
+    std::uint64_t last_dormant_tag = 0;
+    while (!dormant_.empty()) {
+        const std::size_t i = next_dormant_after(last_dormant_tag);
+        if (i >= dormant_.size()) break;
+        last_dormant_tag = dormant_[i].tag;
         // A live idle core mutates nothing on a packet unless its group or
         // retransmission channel matches (ReceiverCore::on_packet's filter)
         // -- so matching packets wake the core, everything else is a no-op.
@@ -157,10 +198,7 @@ void ProtocolHost::on_packet(TimePoint now, const Packet& packet) {
         const bool wakes = packet.header.group == cfg.group ||
                            (cfg.retrans_channel != kNoGroup &&
                             packet.header.group == cfg.retrans_channel);
-        if (!wakes) {
-            ++i;
-            continue;
-        }
+        if (!wakes) continue;
         ReceiverSlot& slot = wake_dormant(i);  // erases dormant_[i]
         execute(now, slot.tag, slot.handlers, slot.core.on_packet(now, packet));
     }

@@ -186,6 +186,13 @@ private:
     /// preserving the order of the remaining ones).  Runs no actions.
     ReceiverSlot& wake_dormant(std::size_t i);
 
+    /// Index of the first dormant record with tag > last_tag, or
+    /// dormant_.size().  dormant_ is ascending by tag (attach order;
+    /// wake_dormant preserves the remaining order), so this implements the
+    /// reentrancy-safe cursor used by on_packet and
+    /// fire_dormant_watchdogs.
+    [[nodiscard]] std::size_t next_dormant_after(std::uint64_t last_tag) const;
+
     NetworkService& network_;
     TimerService& timers_;
     const obs::ProtocolMetrics* metrics_ = nullptr;  ///< null until bound
@@ -203,6 +210,8 @@ private:
     std::uint32_t next_tag_ = 1;
     bool defer_dormant_watchdogs_ = false;
     TimePoint started_at_{};  ///< set by start(); anchors deferred sweeps
+    bool started_ = false;    ///< start() ran (pre-start wakes skip the
+                              ///< watchdog arm: start() handles it)
 };
 
 }  // namespace lbrm

@@ -202,13 +202,14 @@ void DisScenario::wire_site(const DisTopology::Site& site, std::size_t site_inde
                 if (config_.use_retrans_channel)
                     cfg.retrans_channel = retrans_group();
                 tmpl->config = std::move(cfg);
-                tmpl->make_handlers = [obs = observer_.get()](NodeId self) {
+                tmpl->make_handlers = [this](NodeId self) {
                     AppHandlers h;
-                    h.on_data = [obs, self](TimePoint at, const DeliverData& d) {
-                        obs->on_delivery(at, self, d);
+                    h.on_data = [this, self](TimePoint at, const DeliverData& d) {
+                        observer_->on_delivery(at, self, d);
+                        if (delivery_hook_) delivery_hook_(at, self, d);
                     };
-                    h.on_notice = [obs, self](TimePoint at, const Notice& n) {
-                        obs->on_notice(at, self, n);
+                    h.on_notice = [this, self](TimePoint at, const Notice& n) {
+                        observer_->on_notice(at, self, n);
                     };
                     return h;
                 };
@@ -262,13 +263,12 @@ void DisScenario::wire_site(const DisTopology::Site& site, std::size_t site_inde
         if (config_.use_retrans_channel) receiver_config.retrans_channel = retrans_group();
 
         AppHandlers handlers;
-        handlers.on_data = [obs = observer_.get(), node](TimePoint at,
-                                                         const DeliverData& d) {
-            obs->on_delivery(at, node, d);
+        handlers.on_data = [this, node](TimePoint at, const DeliverData& d) {
+            observer_->on_delivery(at, node, d);
+            if (delivery_hook_) delivery_hook_(at, node, d);
         };
-        handlers.on_notice = [obs = observer_.get(), node](TimePoint at,
-                                                           const Notice& n) {
-            obs->on_notice(at, node, n);
+        handlers.on_notice = [this, node](TimePoint at, const Notice& n) {
+            observer_->on_notice(at, node, n);
         };
         receiver_cores_.emplace_back(
             node, &host.protocol().add_receiver(std::move(receiver_config), handlers));
@@ -297,6 +297,7 @@ void DisScenario::send_update(std::vector<std::uint8_t> payload) {
     SimHost* host = network_.host(topology_.source);
     host->protocol().send(simulator_.now(), payload);
     observer_->on_send(simulator_.now(), sender().last_seq());
+    if (send_hook_) send_hook_(simulator_.now(), sender().last_seq());
 }
 
 void DisScenario::send_update(std::size_t size) {

@@ -158,6 +158,17 @@ public:
         return GroupId{config_.group.value() + 1};
     }
 
+    // --- chaos hooks -----------------------------------------------------
+    // Fault-injection taps (sim/chaos.hpp).  Invoked *after* the observer
+    // for every receiver delivery / every source send, so installing one
+    // never reorders observation; a null hook costs one branch.  Hooks only
+    // observe -- any faults they apply (node down, loss, re-finalize) are
+    // ordinary simulator state changes, applied at the current event.
+    using DeliveryHook = std::function<void(TimePoint, NodeId, const DeliverData&)>;
+    using SendHook = std::function<void(TimePoint, SeqNum)>;
+    void set_delivery_hook(DeliveryHook hook) { delivery_hook_ = std::move(hook); }
+    void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
+
     // --- recorded observations -------------------------------------------
     // Record types live in observer.hpp; the aliases keep existing
     // `DisScenario::DeliveryRecord` spellings working.
@@ -205,6 +216,9 @@ private:
     std::vector<SimHost*> hosts_;
     /// Shared blueprint for every dormant receiver (null in eager mode).
     std::shared_ptr<const ProtocolHost::DormantReceiverTemplate> dormant_template_;
+
+    DeliveryHook delivery_hook_;  ///< null unless a chaos engine is attached
+    SendHook send_hook_;
 
     void schedule_sample_tick();
     obs::Sampler sampler_;           ///< initialised over network_.metrics()

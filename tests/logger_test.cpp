@@ -253,6 +253,63 @@ TEST(SecondaryLogger, FetchRetriesOnSilence) {
     EXPECT_EQ(count_sent(retry, PacketType::kNack), 1u);
 }
 
+TEST(SecondaryLogger, FetchExhaustionRefreshesUpstreamInsteadOfAbandoning) {
+    // A full fetch-attempt budget going unanswered means the configured
+    // upstream is dark (crashed, mid-failover) or does not hold the packet
+    // yet -- not that the packet is dead.  The secondary asks the source
+    // who the primary is *now*, parks the fetch for a cold pause, and
+    // retries against the refreshed target.
+    LoggerConfig c = secondary_config();
+    c.fetch_max_retries = 1;
+    c.fetch_cold_cycles = 1;
+    LoggerCore logger{c, 1};
+    logger.on_packet(at(1.0), mcast_data(SeqNum{1}));
+    auto gap = logger.on_packet(at(1.1), mcast_data(SeqNum{3}));
+    auto delay = find_timer(gap, TimerKind::kNackDelay);
+    ASSERT_TRUE(delay.has_value());
+    auto fetch = logger.on_timer(delay->deadline, delay->id);
+    ASSERT_EQ(count_sent(fetch, PacketType::kNack), 1u);
+    EXPECT_EQ(sent_of_type(fetch, PacketType::kNack)[0].to, kPrimary);
+
+    // Budget exhausted on the next retry tick: a PrimaryQuery goes to the
+    // source, no abandonment, and the fetch keeps its retry timer.
+    auto t = find_timer(fetch, TimerKind::kNackRetry);
+    ASSERT_TRUE(t.has_value());
+    TimePoint now = t->deadline;
+    Actions parked = logger.on_timer(now, t->id);
+    EXPECT_EQ(count_sent(parked, PacketType::kNack), 0u);
+    ASSERT_EQ(count_sent(parked, PacketType::kPrimaryQuery), 1u);
+    EXPECT_EQ(sent_of_type(parked, PacketType::kPrimaryQuery)[0].to, kSource);
+    EXPECT_TRUE(test::notices(parked, NoticeKind::kRecoveryFailed).empty());
+
+    // The source names the promoted replica; after the cold pause the next
+    // fetch goes there.
+    logger.on_packet(now + millis(10), from(kSource, PrimaryReplyBody{NodeId{30}}));
+    EXPECT_EQ(logger.upstream(), NodeId{30});
+    Actions last = std::move(parked);
+    std::vector<test::Sent> nacks;
+    for (int i = 0; i < 10 && nacks.empty(); ++i) {
+        auto rt = find_timer(last, TimerKind::kNackRetry);
+        ASSERT_TRUE(rt.has_value());
+        now = rt->deadline;
+        last = logger.on_timer(now, rt->id);
+        nacks = sent_of_type(last, PacketType::kNack);
+    }
+    ASSERT_EQ(nacks.size(), 1u);
+    EXPECT_EQ(nacks[0].to, NodeId{30});
+
+    // The single cold cycle is spent: the next exhaustion is terminal.
+    for (int i = 0; i < 10; ++i) {
+        if (!test::notices(last, NoticeKind::kRecoveryFailed).empty()) break;
+        auto rt = find_timer(last, TimerKind::kNackRetry);
+        ASSERT_TRUE(rt.has_value());
+        now = rt->deadline;
+        last = logger.on_timer(now, rt->id);
+    }
+    EXPECT_EQ(test::notices(last, NoticeKind::kRecoveryFailed).size(), 1u);
+    EXPECT_FALSE(logger.detector().is_missing(SeqNum{2}));
+}
+
 TEST(SecondaryLogger, VolunteersAsDesignatedAcker) {
     LoggerConfig c = secondary_config();
     LoggerCore logger{c, /*rng_seed=*/7};

@@ -202,6 +202,7 @@ TEST(Receiver, FinalEscalationQueriesSourceForPrimary) {
 TEST(Receiver, RecoveryEventuallyAbandons) {
     ReceiverConfig c = base_config();
     c.nack_max_retries = 1;
+    c.recovery_cold_cycles = 0;  // walk the chain once, then give up
     ReceiverCore r{c};
     r.start(at(0.0));
     r.on_packet(at(1.0), data(SeqNum{1}));
@@ -218,6 +219,83 @@ TEST(Receiver, RecoveryEventuallyAbandons) {
     }
     EXPECT_EQ(r.recovery_failures(), 1u);
     EXPECT_FALSE(r.detector().is_missing(SeqNum{2}));
+}
+
+TEST(Receiver, ExhaustedRecoveryParksBeforeAbandoning) {
+    // With cold cycles enabled (the default), one unanswered walk of the
+    // escalation chain is an outage signal, not packet death: the gap is
+    // parked and the chain restarts after recovery_cold_retry.  Only the
+    // configured number of whole walks later is the packet abandoned.
+    ReceiverConfig c = base_config();
+    c.nack_max_retries = 1;
+    c.recovery_cold_cycles = 1;
+    ReceiverCore r{c};
+    r.start(at(0.0));
+    r.on_packet(at(1.0), data(SeqNum{1}));
+    auto gap = r.on_packet(at(1.1), data(SeqNum{3}));
+    auto delay = find_timer(gap, TimerKind::kNackDelay);
+    TimePoint now = delay->deadline;
+    Actions last = r.on_timer(now, delay->id);
+
+    // First walk: ends in a park (a retry armed one cold pause out), not a
+    // kRecoveryFailed.
+    bool parked = false;
+    for (int i = 0; i < 30 && !parked; ++i) {
+        ASSERT_TRUE(test::notices(last, NoticeKind::kRecoveryFailed).empty());
+        auto t = find_timer(last, TimerKind::kNackRetry);
+        ASSERT_TRUE(t.has_value()) << "chain stalled without parking";
+        if (t->deadline - now == c.recovery_cold_retry) {
+            parked = true;
+            now = t->deadline;
+            last = r.on_timer(now, t->id);
+            break;
+        }
+        now = t->deadline;
+        last = r.on_timer(now, t->id);
+    }
+    ASSERT_TRUE(parked);
+    EXPECT_EQ(r.recovery_failures(), 0u);
+    EXPECT_TRUE(r.detector().is_missing(SeqNum{2}));
+
+    // Second walk (the one cold cycle spent): terminal.
+    for (int i = 0; i < 30; ++i) {
+        if (!test::notices(last, NoticeKind::kRecoveryFailed).empty()) break;
+        auto t = find_timer(last, TimerKind::kNackRetry);
+        ASSERT_TRUE(t.has_value());
+        now = t->deadline;
+        last = r.on_timer(now, t->id);
+    }
+    EXPECT_EQ(r.recovery_failures(), 1u);
+    EXPECT_FALSE(r.detector().is_missing(SeqNum{2}));
+}
+
+TEST(Receiver, ParkedRecoveryStillAcceptsLateRepair) {
+    ReceiverConfig c = base_config();
+    c.nack_max_retries = 1;
+    ReceiverCore r{c};
+    r.start(at(0.0));
+    r.on_packet(at(1.0), data(SeqNum{1}));
+    auto gap = r.on_packet(at(1.1), data(SeqNum{3}));
+    auto delay = find_timer(gap, TimerKind::kNackDelay);
+    TimePoint now = delay->deadline;
+    Actions last = r.on_timer(now, delay->id);
+    for (int i = 0; i < 10; ++i) {  // run the chain into its first park
+        auto t = find_timer(last, TimerKind::kNackRetry);
+        if (!t) break;
+        if (t->deadline - now == c.recovery_cold_retry) break;
+        now = t->deadline;
+        last = r.on_timer(now, t->id);
+    }
+    ASSERT_TRUE(r.detector().is_missing(SeqNum{2}));
+
+    // A repair landing mid-pause (the healed logger flushing its backlog)
+    // closes the gap and delivers normally.
+    auto repair = r.on_packet(
+        at(5.0), Packet{Header{kGroup, kSource, kSecondary},
+                        RetransmissionBody{SeqNum{2}, EpochId{0}, false, payload(8)}});
+    EXPECT_EQ(test::deliveries(repair).size(), 1u);
+    EXPECT_FALSE(r.detector().is_missing(SeqNum{2}));
+    EXPECT_EQ(r.recovery_failures(), 0u);
 }
 
 TEST(Receiver, FreshnessLostAfterSilenceAndRestored) {
